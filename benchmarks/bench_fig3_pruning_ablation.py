@@ -1,0 +1,81 @@
+"""Figure 3: pruning-technique ablation on Salaries 2x2.
+
+(a) slices evaluated per level under the five pruning configurations;
+(b) runtime per configuration.  Expected shape: every added pruning
+technique reduces (never increases) the evaluated-slice counts, with the
+unpruned + undeduplicated arm growing exponentially (the paper's ran out
+of memory after 4 levels; we cap it at 4 levels for the same reason).
+"""
+
+from repro.experiments import bench_config, format_table, run_pruning_ablation
+from repro.core import PruningConfig
+
+from conftest import bench_dataset, run_once
+
+#: unpruned arms are exponential: cap at the level where the paper OOM'd
+UNPRUNED_LEVEL_CAP = 4
+
+
+def _run_ablation():
+    bundle = bench_dataset("salaries2x2")
+    reports = {}
+    for label, arm in PruningConfig.ablation_arms().items():
+        cap = UNPRUNED_LEVEL_CAP if not arm.by_score else None
+        cfg = bench_config(
+            "salaries2x2", bundle.num_rows, k=4, max_level=cap,
+        ).with_overrides(pruning=arm, priority_evaluation=False)
+        reports.update(
+            run_pruning_ablation(
+                bundle.x0, bundle.errors, cfg, arms={label: arm}
+            )
+        )
+    return reports
+
+
+def test_fig3a_slices_per_level(benchmark):
+    reports = run_once(benchmark, _run_ablation)
+    rows = []
+    for label, report in reports.items():
+        for level, evaluated in zip(report.levels, report.evaluated):
+            rows.append({"config": label, "level": level, "evaluated": evaluated})
+    print()
+    print(format_table(rows, title="Figure 3(a): evaluated slices per level"))
+
+    totals = {lbl: r.total_evaluated for lbl, r in reports.items()}
+    # Figure 3 shape: strictly more work as pruning is removed
+    assert totals["all"] <= totals["no-parents"]
+    assert totals["no-parents"] <= totals["no-parents-no-score"]
+    assert totals["no-parents-no-score"] <= totals["no-parents-no-score-no-size"]
+    # over the shared first 4 levels the duplicate-polluted arm dominates
+    def first_levels(label):
+        report = reports[label]
+        return sum(
+            e for lv, e in zip(report.levels, report.evaluated)
+            if lv <= UNPRUNED_LEVEL_CAP
+        )
+    assert first_levels("none") >= first_levels("no-parents-no-score-no-size")
+
+    # all arms agree on the top-K scores (pruning is lossless)
+    score_sets = {
+        tuple(round(s, 9) for s in r.top_scores) for r in reports.values()
+    }
+    assert len(score_sets) == 1
+
+
+def test_fig3b_runtime(benchmark):
+    """Timed: the fully-pruned configuration (the paper's fastest arm)."""
+    bundle = bench_dataset("salaries2x2")
+    cfg = bench_config("salaries2x2", bundle.num_rows, k=4)
+
+    from repro.core import slice_line
+
+    result = benchmark(lambda: slice_line(bundle.x0, bundle.errors, cfg))
+    assert result.top_slices
+
+    reports = _run_ablation()
+    rows = [
+        {"config": lbl, "seconds": round(r.total_seconds, 4)}
+        for lbl, r in reports.items()
+    ]
+    print()
+    print(format_table(rows, title="Figure 3(b): runtime per configuration"))

@@ -1,0 +1,63 @@
+"""Figure 4: slice enumeration characteristics per dataset.
+
+(a) Adult: good pruning, moderate slices per level, early termination;
+(b) Covtype / KDD98 / USCensus: correlated or feature-rich datasets where
+level caps are required and candidate counts stay close to valid-slice
+counts (the pruning-effectiveness signature).
+"""
+
+import pytest
+
+from repro.experiments import bench_config, format_table, run_sliceline
+
+from conftest import bench_dataset, run_once
+
+
+def _enumerate(name, **overrides):
+    bundle = bench_dataset(name)
+    cfg = bench_config(name, bundle.num_rows, **overrides)
+    _, report = run_sliceline(
+        bundle.x0, bundle.errors, cfg, dataset=name, num_threads=4
+    )
+    return report
+
+
+def test_fig4a_adult_enumeration(benchmark):
+    report = run_once(
+        benchmark, lambda: _enumerate("adult", max_level=None)
+    )  # uncapped, like the paper
+    print()
+    print(format_table(report.rows(), title="Figure 4(a): Adult enumeration"))
+    # early termination: well before the m=14 lattice floor
+    assert report.levels[-1] < 14
+    # the enumeration stays moderate at every level
+    assert max(report.evaluated) < 100_000
+
+
+@pytest.mark.parametrize("name", ["covtype", "uscensus", "kdd98"])
+def test_fig4b_hard_datasets(benchmark, name):
+    report = run_once(benchmark, lambda: _enumerate(name))
+    print()
+    print(format_table(report.rows(), title=f"Figure 4(b): {name} enumeration"))
+    # pruning effectiveness: evaluated candidates stay close to valid slices
+    # on deeper levels (the paper's central Figure 4 observation)
+    for level, evaluated, valid, skipped in zip(
+        report.levels, report.evaluated, report.valid,
+        report.skipped_by_priority,
+    ):
+        if level >= 2 and evaluated > 0 and skipped == 0:
+            assert valid >= 0.5 * evaluated
+
+
+def test_fig4_benchmark_adult(benchmark):
+    """Timed: Adult end-to-end enumeration (the Figure 4(a) workload)."""
+    bundle = bench_dataset("adult")
+    cfg = bench_config("adult", bundle.num_rows, max_level=None)
+
+    from repro.core import slice_line
+
+    result = benchmark.pedantic(
+        lambda: slice_line(bundle.x0, bundle.errors, cfg, num_threads=4),
+        rounds=2, iterations=1,
+    )
+    assert result.top_slices

@@ -1,0 +1,62 @@
+"""Section 5.3: varying the minimum-support constraint sigma.
+
+Sweeps sigma over [1e-4 n, 1e-1 n] with alpha=0.95, K=10, L=3.  Expected
+shape (paper): scores stay similar for small sigma (the size term already
+counteracts tiny slices) and drop for very large sigma (good slices fall
+below support), while runtime grows substantially as sigma shrinks.
+"""
+
+import math
+
+from repro.core import slice_line
+from repro.experiments import bench_config, format_table
+
+from conftest import bench_dataset, run_once
+
+SIGMA_FRACTIONS = (1e-4, 1e-3, 1e-2, 1e-1)
+
+
+def test_sec53_sigma_sweep(benchmark):
+    bundle = bench_dataset("adult")
+    n = bundle.num_rows
+    def sweep():
+        rows = []
+        for fraction in SIGMA_FRACTIONS:
+            sigma = max(1, math.ceil(n * fraction))
+            cfg = bench_config("adult", n, k=10, max_level=3, sigma=sigma)
+            result = slice_line(bundle.x0, bundle.errors, cfg, num_threads=4)
+            top_score = result.top_slices[0].score if result.top_slices else 0.0
+            rows.append(
+                {
+                    "sigma/n": fraction,
+                    "sigma": sigma,
+                    "top1_score": round(top_score, 4),
+                    "num_found": len(result.top_slices),
+                    "evaluated": result.total_evaluated,
+                    "seconds": round(result.total_seconds, 3),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(rows, title="Section 5.3: sigma sweep on adult"))
+
+    # scores do not improve as sigma grows (constraint only removes slices)
+    scores = [r["top1_score"] for r in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(scores, scores[1:]))
+    # small sigma means more work: evaluated counts shrink as sigma grows
+    evaluated = [r["evaluated"] for r in rows]
+    assert evaluated[0] >= evaluated[-1]
+
+
+def test_sec53_benchmark_small_sigma(benchmark):
+    """Timed: the most expensive sweep point (sigma = 1e-3 n)."""
+    bundle = bench_dataset("adult")
+    sigma = max(1, math.ceil(bundle.num_rows * 1e-3))
+    cfg = bench_config("adult", bundle.num_rows, k=10, max_level=3, sigma=sigma)
+    result = benchmark.pedantic(
+        lambda: slice_line(bundle.x0, bundle.errors, cfg, num_threads=4),
+        rounds=2, iterations=1,
+    )
+    assert result is not None

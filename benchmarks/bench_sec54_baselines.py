@@ -1,0 +1,88 @@
+"""Section 5.4: ML-systems / baseline comparison data points.
+
+The paper reports SliceLine (SystemDS) at 5.6s on Adult vs 200.4s for the
+R implementation and >100s for SliceFinder's hand-crafted lattice search.
+We regenerate the comparable local data points: exact SliceLine vs the
+SliceFinder-style heuristic search vs the decision-tree slicer, on the
+same Adult-like workload.  Expected shape: SliceLine is competitive or
+faster while being exact; the heuristics are approximate (tree slices are
+disjoint; SliceFinder terminates level-wise).
+"""
+
+import time
+
+from repro.baselines import DecisionTreeSlicer, SliceFinderBaseline
+from repro.core import slice_line
+from repro.experiments import bench_config, format_table
+
+from conftest import bench_dataset, run_once
+
+
+def test_sec54_baseline_comparison(benchmark):
+    bundle = bench_dataset("adult")
+    cfg = bench_config("adult", bundle.num_rows, k=4, max_level=3)
+
+    rows = []
+    started = time.perf_counter()
+    result = slice_line(bundle.x0, bundle.errors, cfg, num_threads=4)
+    sliceline_seconds = time.perf_counter() - started
+    sliceline_top = result.top_slices[0].score if result.top_slices else 0.0
+    rows.append(
+        {
+            "system": "SliceLine (exact)",
+            "seconds": round(sliceline_seconds, 2),
+            "slices": len(result.top_slices),
+            "best_score": round(sliceline_top, 4),
+        }
+    )
+
+    started = time.perf_counter()
+    finder = SliceFinderBaseline(k=4, max_level=3)
+    accepted = finder.find(bundle.x0, bundle.errors)
+    rows.append(
+        {
+            "system": "SliceFinder (heuristic)",
+            "seconds": round(time.perf_counter() - started, 2),
+            "slices": len(accepted),
+            "best_score": "n/a (effect size)",
+        }
+    )
+
+    started = time.perf_counter()
+    leaves = DecisionTreeSlicer(max_depth=3, min_leaf_size=64, k=4).find(
+        bundle.x0, bundle.errors
+    )
+    rows.append(
+        {
+            "system": "Decision tree (disjoint)",
+            "seconds": round(time.perf_counter() - started, 2),
+            "slices": len(leaves),
+            "best_score": "n/a (leaf error)",
+        }
+    )
+    print()
+    print(format_table(rows, title="Section 5.4: baseline comparison (adult)"))
+    run_once(benchmark, lambda: None)  # keep this table in --benchmark-only runs
+
+    # SliceLine's score is exact-optimal: no baseline "slice" can beat it.
+    # Verify against the decision tree's best leaf re-scored with Eq. 1.
+    from repro.core.scoring import score_single
+
+    total_error = float(bundle.errors.sum())
+    for leaf in leaves:
+        leaf_score = score_single(
+            leaf.size, leaf.average_error * leaf.size,
+            bundle.num_rows, total_error, cfg.alpha,
+        )
+        assert leaf_score <= sliceline_top + 1e-9
+
+
+def test_sec54_benchmark_sliceline(benchmark):
+    """Timed: SliceLine on the Section 5.4 Adult workload."""
+    bundle = bench_dataset("adult")
+    cfg = bench_config("adult", bundle.num_rows, k=4, max_level=3)
+    result = benchmark.pedantic(
+        lambda: slice_line(bundle.x0, bundle.errors, cfg, num_threads=4),
+        rounds=2, iterations=1,
+    )
+    assert result is not None

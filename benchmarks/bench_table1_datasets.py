@@ -1,0 +1,49 @@
+"""Table 1: dataset characteristics (n, m, l, task).
+
+Regenerates the dataset-characteristics table: measured n/m/l of every
+registry dataset at benchmark scale next to the paper's full-scale
+reference values.  The schema invariants (m and l) must match the paper
+exactly for the fully-sampled datasets.
+"""
+
+from repro.datasets import dataset_summary
+from repro.datasets.registry import PAPER_CHARACTERISTICS
+from repro.experiments import format_table
+
+from conftest import BENCH_SCALES, bench_dataset, run_once
+
+
+def test_table1_characteristics(benchmark):
+    rows = []
+    for name in ("adult", "covtype", "kdd98", "uscensus", "criteod21", "salaries"):
+        bundle = bench_dataset(name)
+        summary = dataset_summary(bundle)
+        rows.append(
+            {
+                "dataset": name,
+                "task": summary["task"],
+                "n(bench)": summary["n"],
+                "m": summary["m"],
+                "l(bench)": summary["l"],
+                "n(paper)": summary["paper_n"],
+                "l(paper)": summary["paper_l"],
+            }
+        )
+    print()
+    print(format_table(rows, title="Table 1: dataset characteristics"))
+
+    # schema invariants: m always matches the paper; l matches when the
+    # sample is large enough to observe every code
+    for row in rows:
+        assert row["m"] == PAPER_CHARACTERISTICS[row["dataset"]][1]
+    adult = next(r for r in rows if r["dataset"] == "adult")
+    assert adult["l(bench)"] == 162
+    salaries = next(r for r in rows if r["dataset"] == "salaries")
+    assert salaries["l(bench)"] == 27
+
+
+def test_bench_dataset_generation_speed(benchmark):
+    """Timed: generating the Adult-like dataset at benchmark scale."""
+    from repro.datasets import load_dataset
+
+    benchmark(lambda: load_dataset("adult", scale=0.1, seed=1))

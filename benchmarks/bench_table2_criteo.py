@@ -1,0 +1,61 @@
+"""Table 2: Criteo slice-enumeration statistics.
+
+Regenerates the per-level table (candidates, valid slices, elapsed time)
+for the CriteoD21-like ultra-sparse dataset.  The defining phenomena:
+only a tiny fraction of the (huge) one-hot column space satisfies the
+minimum-support constraint at level 1, and from level 2 on pruning keeps
+candidate counts close to the true number of valid slices.
+"""
+
+from repro.experiments import bench_config, format_table, run_sliceline
+
+from conftest import bench_dataset, run_once
+
+
+def test_table2_criteo_enumeration(benchmark):
+    bundle = bench_dataset("criteod21")
+    cfg = bench_config("criteod21", bundle.num_rows, max_level=6)
+    result, report = run_once(
+        benchmark,
+        lambda: run_sliceline(
+            bundle.x0, bundle.errors, cfg, dataset="criteod21", num_threads=4
+        ),
+    )
+    rows = [
+        {
+            "level": level,
+            "candidates": evaluated,
+            "valid": valid,
+            "elapsed_s": round(seconds, 2),
+        }
+        for level, evaluated, valid, seconds in zip(
+            report.levels, report.evaluated, report.valid,
+            report.elapsed_seconds,
+        )
+    ]
+    print()
+    print(format_table(rows, title="Table 2: Criteo enumeration statistics"))
+
+    # level 1: a tiny fraction of a very wide one-hot space passes sigma
+    level1 = rows[0]
+    assert level1["candidates"] > 100_000, "one-hot space should be huge"
+    assert level1["valid"] < 2_000, "only head values satisfy min support"
+    assert level1["valid"] / level1["candidates"] < 0.01
+
+    # deeper levels: candidates stay close to valid slices (paper's Table 2)
+    for row in rows[1:]:
+        if row["candidates"] > 100:
+            assert row["valid"] >= 0.25 * row["candidates"]
+
+
+def test_table2_benchmark(benchmark):
+    """Timed: the full Criteo-like enumeration (levels 1-6)."""
+    from repro.core import slice_line
+
+    bundle = bench_dataset("criteod21")
+    cfg = bench_config("criteod21", bundle.num_rows, max_level=6)
+    result = benchmark.pedantic(
+        lambda: slice_line(bundle.x0, bundle.errors, cfg, num_threads=4),
+        rounds=2, iterations=1,
+    )
+    assert result is not None

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 3).  Dataset scales are reduced so the
+whole suite runs on a laptop in minutes; the *shapes* reported by the
+paper (who wins, what grows, where crossovers fall) are asserted, not the
+absolute numbers.  Run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the regenerated tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+
+#: per-dataset row scales used by the benchmark suite (laptop budget)
+BENCH_SCALES = {
+    "adult": 0.3,
+    "covtype": 0.02,
+    "kdd98": 0.01,
+    "uscensus": 0.004,
+    "criteod21": 0.05,
+    "salaries": 1.0,
+    "salaries2x2": 1.0,
+}
+
+_CACHE: dict[str, object] = {}
+
+
+def bench_dataset(name: str, seed: int = 0):
+    """Load (and memoize) a dataset at its benchmark scale."""
+    key = f"{name}:{seed}"
+    if key not in _CACHE:
+        _CACHE[key] = load_dataset(name, scale=BENCH_SCALES.get(name), seed=seed)
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """Accessor fixture so benches share the memoized datasets."""
+    return bench_dataset
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* once under the benchmark fixture.
+
+    The table-regenerating tests use this so they are timed AND still run
+    under ``--benchmark-only`` (which skips tests without a benchmark).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

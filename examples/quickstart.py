@@ -1,0 +1,42 @@
+"""Quickstart: find the top-K problematic slices of a model's errors.
+
+Generates a small tabular dataset with a planted problematic subgroup,
+computes a per-row error vector, and runs SliceLine with paper defaults.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SliceLine
+
+rng = np.random.default_rng(7)
+
+# Integer-encoded features (1-based codes), e.g. after recoding/binning.
+num_rows = 5_000
+x0 = np.column_stack(
+    [
+        rng.integers(1, 6, size=num_rows),  # age bin        (1..5)
+        rng.integers(1, 4, size=num_rows),  # education      (1..3)
+        rng.integers(1, 3, size=num_rows),  # sex            (1..2)
+        rng.integers(1, 8, size=num_rows),  # occupation     (1..7)
+    ]
+)
+feature_names = ["age_bin", "education", "sex", "occupation"]
+
+# Per-row model errors (0/1 misclassification): the model is bad for
+# young customers with education level 1.
+errors = (rng.random(num_rows) < 0.08).astype(float)
+problem = (x0[:, 0] == 1) & (x0[:, 1] == 1)
+errors[problem] = (rng.random(int(problem.sum())) < 0.85).astype(float)
+
+finder = SliceLine(k=4, alpha=0.95)
+finder.fit(x0, errors, feature_names=feature_names)
+
+print(finder.report())
+print()
+top = finder.top_slices_[0]
+print(f"worst slice covers {top.size} rows "
+      f"({100 * top.size / num_rows:.1f}% of the data) "
+      f"with average error {top.average_error:.2f} "
+      f"vs {errors.mean():.2f} overall")

@@ -1,0 +1,65 @@
+"""Regression debugging with the full preprocessing pipeline, plus a
+comparison against the SliceFinder and decision-tree baselines.
+
+The Salaries dataset (the paper's ablation dataset) hides a systematic
+model failure: senior professors in discipline A with long service are
+underpaid relative to the additive trend a linear model can learn.  The
+linear model's squared residuals concentrate there, and SliceLine pins the
+region down as a conjunction of predicates.
+
+Run:  python examples/salaries_regression.py
+"""
+
+import numpy as np
+
+from repro.baselines import DecisionTreeSlicer, SliceFinderBaseline
+from repro.core import SliceLine
+from repro.datasets import salaries
+from repro.linalg import to_dense
+from repro.ml import LinearRegression, squared_loss
+from repro.preprocessing import Preprocessor
+
+# -- raw table -> encoded matrix via the paper's preprocessing -------------
+table, salary = salaries.generate_table(num_rows=2_000, seed=3)
+pipeline = Preprocessor(salaries.column_specs())
+encoded = pipeline.fit_transform(table)
+print(f"encoded: n={encoded.num_rows}, m={encoded.num_features}, "
+      f"l={encoded.num_onehot_columns} one-hot columns")
+
+# -- train lm, compute squared-loss errors ---------------------------------
+dense = to_dense(encoded.feature_space.encode(encoded.x0))
+model = LinearRegression(l2=1e-6).fit(dense, salary)
+errors = squared_loss(salary, model.predict(dense))
+print(f"model R^2 = {model.score(dense, salary):.3f}, "
+      f"mean squared error = {errors.mean():,.0f}")
+
+# -- SliceLine --------------------------------------------------------------
+finder = SliceLine(k=4, alpha=0.95)
+finder.fit(encoded.x0, errors, feature_names=encoded.feature_names)
+print("\nSliceLine top slices (with decoded value labels):")
+for rank, sl in enumerate(finder.top_slices_, start=1):
+    desc = sl.describe(encoded.feature_names, encoded.value_labels)
+    print(f"  #{rank} score={sl.score:+.3f} size={sl.size} :: {desc}")
+
+# -- baselines for comparison ----------------------------------------------
+print("\nSliceFinder baseline (effect size + Welch t-test + dominance):")
+for cand in SliceFinderBaseline(k=4, max_level=3).find(encoded.x0, errors):
+    desc = " AND ".join(
+        f"{encoded.feature_names[f]}={encoded.value_labels[f][v - 1]}"
+        for f, v in sorted(cand.predicates.items())
+    )
+    print(f"  effect={cand.effect_size:.2f} p={cand.p_value:.2e} "
+          f"size={cand.size} :: {desc}")
+
+print("\nDecision-tree baseline (non-overlapping slices):")
+for leaf in DecisionTreeSlicer(max_depth=3, min_leaf_size=32, k=4).find(
+    encoded.x0, errors
+):
+    desc = " AND ".join(
+        f"{encoded.feature_names[f]}={encoded.value_labels[f][v - 1]}"
+        for f, v in sorted(leaf.predicates.items())
+    )
+    print(f"  avg_err={leaf.average_error:,.0f} size={leaf.size} :: {desc}")
+
+print("\nNote how the tree can only report disjoint regions while SliceLine"
+      "\nenumerates overlapping conjunctions exactly — the paper's core point.")

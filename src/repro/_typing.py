@@ -1,0 +1,18 @@
+"""Shared type aliases used across the package."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+#: A two-dimensional matrix accepted by most linear-algebra helpers: either a
+#: dense numpy array or any scipy sparse matrix.
+Matrix = Union[np.ndarray, sp.spmatrix]
+
+#: A one-dimensional float vector.
+Vector = np.ndarray
+
+#: An integer-encoded feature matrix (1-based contiguous codes per column).
+IntMatrix = np.ndarray

@@ -1,0 +1,29 @@
+"""Baseline slice-finding algorithms for comparison and verification.
+
+* :mod:`repro.baselines.naive` — exhaustive lattice enumeration by set
+  intersection.  Exponential, but exact by construction: the oracle used by
+  the property-based tests to certify SliceLine's exactness.
+* :mod:`repro.baselines.slicefinder` — a reimplementation of the
+  SliceFinder [Chung et al., ICDE'19] lattice search with effect size,
+  Welch's t-test, and level-wise top-K termination (the ">100s on Adult"
+  comparison point of Section 5.4).
+* :mod:`repro.baselines.dtree` — decision-tree based, *non-overlapping*
+  slices (the alternative SliceFinder proposes for disjoint slices).
+* :mod:`repro.baselines.clustering` — error-weighted clustering baseline.
+"""
+
+from repro.baselines.naive import NaiveSlice, enumerate_all_slices, naive_top_k
+from repro.baselines.slicefinder import SliceFinderBaseline, SliceFinderCandidate
+from repro.baselines.dtree import DecisionTreeSlicer, TreeNode
+from repro.baselines.clustering import ClusteringSlicer
+
+__all__ = [
+    "NaiveSlice",
+    "enumerate_all_slices",
+    "naive_top_k",
+    "SliceFinderBaseline",
+    "SliceFinderCandidate",
+    "DecisionTreeSlicer",
+    "TreeNode",
+    "ClusteringSlicer",
+]

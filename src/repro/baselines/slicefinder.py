@@ -1,0 +1,180 @@
+"""SliceFinder-style lattice search baseline (Chung et al., ICDE 2019).
+
+This is the heuristic comparator of Section 5.4: a hand-crafted, level-wise
+lattice search that accepts a slice when its *effect size* exceeds a
+threshold ``T`` and Welch's t-test finds its errors significantly larger
+than the rest, subject to a *dominance* constraint (no accepted coarser
+slice), and terminates as soon as ``K`` slices are found.
+
+Unlike SliceLine it is neither exact (the level-wise termination can miss
+higher-scoring finer slices) nor vectorized (slices are evaluated one by
+one) — exactly the limitations the paper motivates against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.onehot import validate_encoded_matrix
+from repro.exceptions import ValidationError
+from repro.linalg import ensure_vector
+from repro.stats import effect_size, welch_t_test
+
+
+@dataclass(frozen=True)
+class SliceFinderCandidate:
+    """A slice accepted by the SliceFinder search with its test statistics."""
+
+    predicates: Mapping[int, int]
+    effect_size: float
+    p_value: float
+    size: int
+    average_error: float
+
+    @property
+    def level(self) -> int:
+        return len(self.predicates)
+
+
+@dataclass
+class SliceFinderBaseline:
+    """Level-wise top-K lattice search with statistical acceptance tests.
+
+    Parameters
+    ----------
+    k:
+        Stop as soon as this many slices are accepted (level-wise heuristic
+        termination — the search still finishes the current level).
+    effect_size_threshold:
+        Minimum effect size ``T`` for acceptance (default 0.4, the
+        SliceFinder paper's recommendation).
+    significance_level:
+        Welch's t-test significance level.
+    min_size:
+        Minimum slice size (slices below it are not expanded either).
+    max_level:
+        Lattice depth cap.
+    """
+
+    k: int = 4
+    effect_size_threshold: float = 0.4
+    significance_level: float = 0.05
+    min_size: int = 2
+    max_level: int | None = None
+    #: populated by :meth:`find`: candidates evaluated per level
+    evaluated_per_level: list[int] = field(default_factory=list)
+
+    def find(self, x0: np.ndarray, errors: np.ndarray) -> list[SliceFinderCandidate]:
+        """Run the search and return accepted slices in discovery order."""
+        x0 = validate_encoded_matrix(x0, allow_missing=True)
+        num_rows, num_features = x0.shape
+        errors = ensure_vector(errors, num_rows, "errors")
+        if self.k < 1:
+            raise ValidationError("k must be >= 1")
+        depth = (
+            num_features
+            if self.max_level is None
+            else min(self.max_level, num_features)
+        )
+        domains = x0.max(axis=0)
+
+        accepted: list[SliceFinderCandidate] = []
+        accepted_keys: list[frozenset] = []
+        self.evaluated_per_level = []
+
+        # Level 1 candidates: all single predicates; deeper levels extend the
+        # *expandable* frontier (large-enough but not-yet-accepted slices).
+        frontier: list[dict[int, int]] = [
+            {f: v} for f in range(num_features) for v in range(1, domains[f] + 1)
+        ]
+        for level in range(1, depth + 1):
+            evaluated = 0
+            # Decreasing slice size is SliceFinder's secondary ordering.
+            sized = sorted(
+                frontier, key=lambda p: -self._slice_size(x0, p)
+            )
+            next_frontier: list[dict[int, int]] = []
+            seen: set[frozenset] = set()
+            for predicates in sized:
+                key = frozenset(predicates.items())
+                if key in seen:
+                    continue
+                seen.add(key)
+                mask = self._slice_mask(x0, predicates)
+                size = int(mask.sum())
+                if size < self.min_size or size == num_rows:
+                    continue
+                evaluated += 1
+                if self._dominated(key, accepted_keys):
+                    continue
+                inside, outside = errors[mask], errors[~mask]
+                es = effect_size(inside, outside)
+                if es >= self.effect_size_threshold:
+                    test = welch_t_test(inside, outside)
+                    if test.p_value < self.significance_level:
+                        accepted.append(
+                            SliceFinderCandidate(
+                                predicates=dict(predicates),
+                                effect_size=es,
+                                p_value=test.p_value,
+                                size=size,
+                                average_error=float(inside.mean()),
+                            )
+                        )
+                        accepted_keys.append(key)
+                        continue
+                next_frontier.append(predicates)
+            self.evaluated_per_level.append(evaluated)
+            if len(accepted) >= self.k:
+                break
+            frontier = self._expand(next_frontier, domains, num_features)
+            if not frontier:
+                break
+        return accepted[: self.k]
+
+    @staticmethod
+    def _slice_mask(x0: np.ndarray, predicates: Mapping[int, int]) -> np.ndarray:
+        mask = np.ones(x0.shape[0], dtype=bool)
+        for feature, value in predicates.items():
+            mask &= x0[:, feature] == value
+        return mask
+
+    @classmethod
+    def _slice_size(cls, x0: np.ndarray, predicates: Mapping[int, int]) -> int:
+        return int(cls._slice_mask(x0, predicates).sum())
+
+    @staticmethod
+    def _dominated(key: frozenset, accepted_keys: list[frozenset]) -> bool:
+        """True when an accepted coarser slice subsumes this candidate."""
+        return any(acc < key for acc in accepted_keys)
+
+    @staticmethod
+    def _expand(
+        frontier: list[dict[int, int]], domains: np.ndarray, num_features: int
+    ) -> list[dict[int, int]]:
+        """Extend every frontier slice by one new predicate (all values)."""
+        expanded: list[dict[int, int]] = []
+        seen: set[frozenset] = set()
+        for predicates in frontier:
+            for feature in range(num_features):
+                if feature in predicates:
+                    continue
+                for value in range(1, domains[feature] + 1):
+                    child = dict(predicates)
+                    child[feature] = value
+                    key = frozenset(child.items())
+                    if key not in seen:
+                        seen.add(key)
+                        expanded.append(child)
+        return expanded
+
+
+def _pairs_of(predicates: Mapping[int, int]):
+    """All one-smaller parents of a predicate set (for dominance checks)."""
+    items = sorted(predicates.items())
+    for subset in combinations(items, len(items) - 1):
+        yield dict(subset)

@@ -1,0 +1,339 @@
+"""The SliceLine enumeration driver (Algorithm 1) and estimator facade.
+
+:func:`slice_line` is a faithful transcription of Algorithm 1: data
+preparation (one-hot encoding), initialization (basic slices + initial
+top-K), then level-wise lattice enumeration alternating pair generation
+(with pruning/deduplication), vectorized evaluation, and top-K maintenance,
+until no candidates remain or the level cap is hit.
+
+:class:`SliceLine` wraps the function in a scikit-learn-style estimator for
+interactive use (``fit`` / ``transform`` / fitted attributes).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.basic import create_and_score_basic_slices
+from repro.core.config import PruningConfig, SliceLineConfig
+from repro.core.decode import decode_topk, slice_membership
+from repro.core.evaluate import evaluate_slices
+from repro.core.onehot import FeatureSpace, validate_encoded_matrix
+from repro.core.pairs import get_pair_candidates
+from repro.core.topk import empty_topk, maintain_topk, topk_min_score
+from repro.core.types import LevelStats, SliceLineResult, StatsCol
+from repro.exceptions import ShapeError
+from repro.linalg import ensure_vector
+
+
+def slice_line(
+    x0: np.ndarray,
+    errors: np.ndarray,
+    config: SliceLineConfig | None = None,
+    feature_space: FeatureSpace | None = None,
+    num_threads: int = 1,
+) -> SliceLineResult:
+    """Find the top-K problematic slices of an integer-encoded dataset.
+
+    Parameters
+    ----------
+    x0:
+        ``n x m`` feature matrix in 1-based contiguous integer encoding
+        (use :mod:`repro.preprocessing` to recode/bin raw data).
+    errors:
+        Non-negative, row-aligned error vector ``e`` (e.g. squared loss for
+        regression or 0/1 inaccuracy for classification; see
+        :mod:`repro.ml.errors`).
+    config:
+        Algorithm parameters (top-K, sigma, alpha, level cap, block size,
+        pruning toggles); defaults follow the paper.
+    feature_space:
+        Optional pre-built :class:`FeatureSpace` (e.g. carrying feature
+        names); derived from *x0* when omitted.
+    num_threads:
+        Thread-pool width for blocked slice evaluation (1 = serial).
+
+    Returns
+    -------
+    SliceLineResult
+        Decoded top-K slices, their statistics, and per-level enumeration
+        statistics.
+    """
+    cfg = config or SliceLineConfig()
+    x0 = validate_encoded_matrix(x0, allow_missing=True)
+    num_rows, num_features = x0.shape
+    errors = ensure_vector(errors, num_rows, "errors")
+    if (errors < 0).any():
+        raise ShapeError("errors must be non-negative (e >= 0 in the paper)")
+
+    space = feature_space or FeatureSpace.from_matrix(x0)
+    if space.num_features != num_features:
+        raise ShapeError("feature_space does not match X0")
+    sigma = cfg.resolve_sigma(num_rows)
+    max_level = cfg.resolve_max_level(num_features)
+    total_error = float(errors.sum())
+    average_error = total_error / num_rows
+
+    started = time.perf_counter()
+    x_onehot = space.encode(x0)
+
+    if total_error <= 0:
+        # A perfect model has no problematic slices: every score is <= 0.
+        return _empty_result(space, num_rows, x_onehot.shape[1], average_error)
+
+    # -- initialization: basic slices and initial top-K ----------------------
+    level_started = time.perf_counter()
+    basic = create_and_score_basic_slices(x_onehot, errors, sigma, cfg.alpha)
+    top_slices, top_stats = maintain_topk(
+        basic.slices, basic.stats, *empty_topk(basic.num_slices), cfg.k, sigma
+    )
+    level_stats = [
+        LevelStats(
+            level=1,
+            evaluated=x_onehot.shape[1],
+            valid=basic.num_slices,
+            elapsed_seconds=time.perf_counter() - level_started,
+        )
+    ]
+
+    # Project X to the valid basic-slice columns (Algorithm 1 line 12): all
+    # deeper slices are conjunctions of valid basic slices.
+    x_projected = x_onehot[:, basic.selected_columns].tocsr()
+    feature_map = np.searchsorted(
+        space.ends, basic.selected_columns, side="right"
+    ).astype(np.int64)
+
+    # -- level-wise lattice enumeration --------------------------------------
+    slices, stats = basic.slices, basic.stats
+    level = 1
+    while slices.shape[0] > 0 and level < max_level:
+        level += 1
+        level_started = time.perf_counter()
+        current = LevelStats(level=level)
+        slices, bounds = get_pair_candidates(
+            slices,
+            stats,
+            level,
+            num_rows=num_rows,
+            total_error=total_error,
+            sigma=sigma,
+            alpha=cfg.alpha,
+            topk_min_score=topk_min_score(top_stats, cfg.k),
+            feature_map=feature_map,
+            pruning=cfg.pruning,
+            level_stats=current,
+        )
+        if slices.shape[0] > 0:
+            slices, stats, top_slices, top_stats = _evaluate_level(
+                x_projected, errors, slices, bounds, level, cfg,
+                top_slices, top_stats, sigma, num_threads, current,
+            )
+            current.valid = int(
+                np.count_nonzero(
+                    (stats[:, StatsCol.SIZE] >= sigma)
+                    & (stats[:, StatsCol.ERROR] > 0)
+                )
+            )
+        current.elapsed_seconds = time.perf_counter() - level_started
+        level_stats.append(current)
+
+    decoded, encoded = decode_topk(
+        top_slices, top_stats, basic.selected_columns, space
+    )
+    return SliceLineResult(
+        top_slices=decoded,
+        top_slices_encoded=encoded,
+        top_stats=top_stats,
+        level_stats=level_stats,
+        total_seconds=time.perf_counter() - started,
+        num_rows=num_rows,
+        num_features=num_features,
+        num_onehot_columns=x_onehot.shape[1],
+        average_error=average_error,
+    )
+
+
+def _evaluate_level(
+    x_projected,
+    errors,
+    slices,
+    bounds,
+    level,
+    cfg: SliceLineConfig,
+    top_slices,
+    top_stats,
+    sigma: int,
+    num_threads: int,
+    current: LevelStats,
+):
+    """Evaluate one level's candidates, optionally in priority order.
+
+    In priority mode candidates are evaluated in descending upper-bound
+    order; after every chunk the top-K is refreshed and remaining candidates
+    whose bound no longer beats the K-th best score are skipped.  Skipping
+    is exact: the bound dominates the candidate's own score and every
+    descendant's score, which is precisely the paper's score-pruning
+    argument applied mid-level.  Returns the evaluated slices, their stats,
+    and the updated top-K.
+    """
+    use_priority = (
+        cfg.priority_evaluation
+        and bounds is not None
+        and slices.shape[0] > cfg.priority_chunk
+    )
+    if not use_priority:
+        stats = evaluate_slices(
+            x_projected, errors, slices, level, cfg.alpha,
+            block_size=cfg.block_size, num_threads=num_threads,
+        )
+        current.evaluated = int(slices.shape[0])
+        top_slices, top_stats = maintain_topk(
+            slices, stats, top_slices, top_stats, cfg.k, sigma
+        )
+        return slices, stats, top_slices, top_stats
+
+    order = np.argsort(-bounds, kind="stable")
+    slices = slices[order]
+    bounds = bounds[order]
+    kept_slices = []
+    kept_stats = []
+    position = 0
+    remaining = slices.shape[0]
+    while position < remaining:
+        chunk = slices[position : position + cfg.priority_chunk]
+        chunk_stats = evaluate_slices(
+            x_projected, errors, chunk, level, cfg.alpha,
+            block_size=cfg.block_size, num_threads=num_threads,
+        )
+        kept_slices.append(chunk)
+        kept_stats.append(chunk_stats)
+        current.evaluated += int(chunk.shape[0])
+        top_slices, top_stats = maintain_topk(
+            chunk, chunk_stats, top_slices, top_stats, cfg.k, sigma
+        )
+        position += chunk.shape[0]
+        threshold = topk_min_score(top_stats, cfg.k)
+        if position < remaining and threshold > 0.0:
+            # Bounds are sorted descending: one searchsorted finds the cut
+            # past which no remaining candidate can beat the threshold.
+            cut = int(
+                np.searchsorted(-bounds[position:], -threshold, side="left")
+            )
+            skipped = remaining - position - cut
+            if skipped > 0:
+                current.skipped_by_priority += skipped
+                remaining = position + cut
+    slices = sp.vstack(kept_slices, format="csr") if kept_slices else slices[:0]
+    stats = (
+        np.vstack(kept_stats) if kept_stats else np.zeros((0, 4), dtype=np.float64)
+    )
+    return slices, stats, top_slices, top_stats
+
+
+def _empty_result(
+    space: FeatureSpace, num_rows: int, num_onehot: int, average_error: float
+) -> SliceLineResult:
+    return SliceLineResult(
+        top_slices=[],
+        top_slices_encoded=np.zeros((0, space.num_features), dtype=np.int64),
+        top_stats=np.zeros((0, 4)),
+        level_stats=[],
+        total_seconds=0.0,
+        num_rows=num_rows,
+        num_features=space.num_features,
+        num_onehot_columns=num_onehot,
+        average_error=average_error,
+    )
+
+
+class SliceLine:
+    """Scikit-learn-style estimator facade over :func:`slice_line`.
+
+    Example
+    -------
+    >>> finder = SliceLine(k=4, alpha=0.95)
+    >>> finder.fit(x0, errors)                      # doctest: +SKIP
+    >>> finder.top_slices_[0].describe()            # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        k: int = 4,
+        sigma: int | None = None,
+        alpha: float = 0.95,
+        max_level: int | None = None,
+        block_size: int = 16,
+        pruning: PruningConfig | None = None,
+        num_threads: int = 1,
+    ) -> None:
+        self.k = k
+        self.sigma = sigma
+        self.alpha = alpha
+        self.max_level = max_level
+        self.block_size = block_size
+        self.pruning = pruning or PruningConfig()
+        self.num_threads = num_threads
+        self.result_: SliceLineResult | None = None
+        self.feature_names_: tuple[str, ...] | None = None
+
+    def _config(self) -> SliceLineConfig:
+        return SliceLineConfig(
+            k=self.k,
+            sigma=self.sigma,
+            alpha=self.alpha,
+            max_level=self.max_level,
+            block_size=self.block_size,
+            pruning=self.pruning,
+        )
+
+    def fit(
+        self,
+        x0: np.ndarray,
+        errors: np.ndarray,
+        feature_names: Sequence[str] | None = None,
+    ) -> "SliceLine":
+        """Run slice finding on *x0* / *errors* and store the result."""
+        space = FeatureSpace.from_matrix(x0, feature_names)
+        self.feature_names_ = space.feature_names
+        self.result_ = slice_line(
+            x0,
+            errors,
+            config=self._config(),
+            feature_space=space,
+            num_threads=self.num_threads,
+        )
+        return self
+
+    @property
+    def top_slices_(self):
+        """Decoded top-K slices, best first (fitted attribute)."""
+        self._check_fitted()
+        return self.result_.top_slices
+
+    @property
+    def top_stats_(self) -> np.ndarray:
+        """The ``TR`` matrix (score, error, max error, size) of the top-K."""
+        self._check_fitted()
+        return self.result_.top_stats
+
+    def transform(self, x0: np.ndarray) -> np.ndarray:
+        """Membership matrix: ``out[i, j]`` is True when row i is in slice j."""
+        self._check_fitted()
+        x0 = np.asarray(x0)
+        members = np.zeros((x0.shape[0], len(self.result_.top_slices)), dtype=bool)
+        for j, sl in enumerate(self.result_.top_slices):
+            members[:, j] = slice_membership(x0, sl)
+        return members
+
+    def report(self) -> str:
+        """Human-readable summary of the fitted top-K slices."""
+        self._check_fitted()
+        return self.result_.report(feature_names=self.feature_names_)
+
+    def _check_fitted(self) -> None:
+        if self.result_ is None:
+            raise RuntimeError("SliceLine instance is not fitted yet; call fit()")

@@ -1,0 +1,65 @@
+"""Decoding of top-K slices back into predicate form (``decodeTopK``).
+
+The enumeration works in a *projected* one-hot space (only columns that
+survived the basic-slice filter).  Decoding maps projected columns back to
+original one-hot columns and from there to ``feature == value`` predicates,
+yielding both :class:`~repro.core.types.Slice` objects and the paper's
+``K x m`` integer output encoding (zeros for free features).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.onehot import FeatureSpace
+from repro.core.types import Slice, StatsCol
+
+
+def decode_topk(
+    top_slices: sp.csr_matrix,
+    top_stats: np.ndarray,
+    selected_columns: np.ndarray,
+    feature_space: FeatureSpace,
+) -> tuple[list[Slice], np.ndarray]:
+    """Decode projected one-hot slice vectors into slices and ``TS`` matrix.
+
+    *selected_columns* maps projected column index to the original one-hot
+    column index (the ``cI`` selection of Algorithm 1 line 12).
+    """
+    num_features = feature_space.num_features
+    slices: list[Slice] = []
+    encoded = np.zeros((top_slices.shape[0], num_features), dtype=np.int64)
+    csr = top_slices.tocsr()
+    for row in range(csr.shape[0]):
+        projected_cols = csr.indices[csr.indptr[row] : csr.indptr[row + 1]]
+        predicates: dict[int, int] = {}
+        for projected in projected_cols:
+            original = int(selected_columns[projected])
+            feature = feature_space.feature_of_column(original)
+            predicates[feature] = feature_space.column_value(original)
+        stats_row = top_stats[row]
+        slices.append(
+            Slice(
+                predicates=predicates,
+                score=float(stats_row[StatsCol.SCORE]),
+                error=float(stats_row[StatsCol.ERROR]),
+                max_error=float(stats_row[StatsCol.MAX_ERROR]),
+                size=int(stats_row[StatsCol.SIZE]),
+            )
+        )
+        encoded[row] = slices[-1].encoded_row(num_features)
+    return slices, encoded
+
+
+def slice_membership(x0: np.ndarray, slice_: Slice) -> np.ndarray:
+    """Boolean mask of the rows of an integer-encoded *x0* inside *slice_*.
+
+    Useful for drilling into a problematic slice after a run (inspection,
+    data acquisition, re-labeling).
+    """
+    x0 = np.asarray(x0)
+    mask = np.ones(x0.shape[0], dtype=bool)
+    for feature, value in slice_.predicates.items():
+        mask &= x0[:, feature] == value
+    return mask

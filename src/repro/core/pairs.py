@@ -1,0 +1,308 @@
+"""Pair enumeration with pruning and deduplication (Section 4.3).
+
+Candidates for lattice level ``L`` are built Apriori-style by joining
+compatible level ``L-1`` slices:
+
+1. *Input filtering* — drop parents violating ``ss >= sigma`` or ``se > 0``.
+2. *Self-join* — pairs whose one-hot vectors overlap in exactly ``L-2``
+   predicates (``upper.tri((S S^T) == L-2)``), streamed in chunks.
+3. *Merge and bound* — union the predicate sets; carry
+   ``min(parent sizes/errors/max-errors)`` as upper bounds.
+4. *Feature validity* — discard merged slices assigning two values to one
+   original feature.
+5. *Early score pruning* — the pair-level bound (min over the two parents)
+   already upper-bounds the slice score, so pairs that cannot beat the
+   current top-K are dropped inside the streaming loop.  This keeps the
+   pair set in memory proportional to the *surviving* candidates, which is
+   what makes feature-rich/correlated datasets (KDD98, USCensus) tractable.
+6. *Deduplication* — identical candidates generated from different parent
+   pairs collapse into one.  Because every candidate at level ``L`` has
+   exactly ``L`` set columns, its sorted column-index tuple is a compact,
+   overflow-free realization of the paper's ND-array-index slice ID.
+   Group-wise minima tighten the bounds and the group's distinct-parent
+   count feeds the missing-parent pruning.
+7. *Pruning* (Equation 9) — minimum support on the size bound, upper-bound
+   score against 0 and the current top-K minimum, and ``np == L``.
+
+Every pruning technique is individually toggleable through
+:class:`~repro.core.config.PruningConfig` (the Figure 3 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.config import PruningConfig
+from repro.core.scoring import score_upper_bound
+from repro.core.types import LevelStats, StatsCol
+from repro.linalg import iter_upper_tri_pair_chunks
+
+#: pairs processed per streaming step (bounds peak memory of the merge)
+_PAIR_BATCH = 1 << 20
+
+
+@dataclass
+class _PairAccumulator:
+    """Collects surviving pairs (keys + bounds + parent ids) across chunks."""
+
+    keys: list[np.ndarray] = field(default_factory=list)
+    left: list[np.ndarray] = field(default_factory=list)
+    right: list[np.ndarray] = field(default_factory=list)
+    size_ub: list[np.ndarray] = field(default_factory=list)
+    error_ub: list[np.ndarray] = field(default_factory=list)
+    max_error_ub: list[np.ndarray] = field(default_factory=list)
+
+    def append(self, keys, left, right, size_ub, error_ub, max_error_ub) -> None:
+        self.keys.append(keys)
+        self.left.append(left)
+        self.right.append(right)
+        self.size_ub.append(size_ub)
+        self.error_ub.append(error_ub)
+        self.max_error_ub.append(max_error_ub)
+
+    @property
+    def empty(self) -> bool:
+        return not self.keys
+
+    def concatenated(self):
+        return (
+            np.concatenate(self.keys),
+            np.concatenate(self.left),
+            np.concatenate(self.right),
+            np.concatenate(self.size_ub),
+            np.concatenate(self.error_ub),
+            np.concatenate(self.max_error_ub),
+        )
+
+
+def get_pair_candidates(
+    slices: sp.csr_matrix,
+    stats: np.ndarray,
+    level: int,
+    *,
+    num_rows: int,
+    total_error: float,
+    sigma: int,
+    alpha: float,
+    topk_min_score: float,
+    feature_map: np.ndarray,
+    pruning: PruningConfig | None = None,
+    level_stats: LevelStats | None = None,
+) -> tuple[sp.csr_matrix, np.ndarray | None]:
+    """Generate deduplicated, pruned candidate slices for *level*.
+
+    *slices*/*stats* are the evaluated slices of level ``L-1`` and their
+    ``R`` matrix in the projected one-hot space; *feature_map* maps each
+    projected column to its original feature index (non-decreasing).
+    *topk_min_score* is the score of the current K-th best slice (0.0 while
+    the top-K is not yet full), a monotonically increasing lower bound for
+    score pruning.
+
+    Returns the candidate slice matrix ``S`` for level ``L`` (possibly with
+    zero rows) together with the per-candidate upper-bound scores
+    ``ceil(sc)`` (``None`` when score pruning is disabled) — the driver uses
+    them for priority evaluation.  When *level_stats* is given, per-step
+    counters are recorded into it.
+    """
+    pruning = pruning or PruningConfig()
+    recorder = level_stats or LevelStats(level=level)
+    num_cols = slices.shape[1]
+    empty = sp.csr_matrix((0, num_cols), dtype=np.float64)
+
+    # -- step 1: prune invalid input slices ---------------------------------
+    if pruning.filter_input_slices:
+        keep = (stats[:, StatsCol.SIZE] >= sigma) & (stats[:, StatsCol.ERROR] > 0)
+        if pruning.by_score:
+            # A parent's own bound also bounds every one of its children
+            # (child bounds are minima over parents), so parents that cannot
+            # beat the current top-K cannot yield useful children either.
+            # Filtering them here shrinks the O(n^2) join quadratically.
+            parent_bound = score_upper_bound(
+                stats[:, StatsCol.SIZE],
+                stats[:, StatsCol.ERROR],
+                stats[:, StatsCol.MAX_ERROR],
+                num_rows,
+                total_error,
+                sigma,
+                alpha,
+            )
+            keep &= (parent_bound > topk_min_score) & (parent_bound >= 0.0)
+        slices = slices[np.flatnonzero(keep)]
+        stats = stats[keep]
+    if slices.shape[0] < 2:
+        return empty, None
+
+    # -- steps 2-5: streamed join, merge, validity, early pruning ------------
+    acc = _PairAccumulator()
+    parent_sizes = stats[:, StatsCol.SIZE]
+    parent_errors = stats[:, StatsCol.ERROR]
+    parent_max_errors = stats[:, StatsCol.MAX_ERROR]
+    for rows, cols in iter_upper_tri_pair_chunks(slices, float(level - 2)):
+        for start in range(0, rows.size, _PAIR_BATCH):
+            left = rows[start : start + _PAIR_BATCH]
+            right = cols[start : start + _PAIR_BATCH]
+            recorder.pairs_generated += int(left.size)
+            keys = _merge_keys(slices, left, right, level)
+            feasible = _feature_valid(keys, feature_map)
+            recorder.invalid_feature_pairs += int(left.size - feasible.sum())
+            if not feasible.any():
+                continue
+            left, right, keys = left[feasible], right[feasible], keys[feasible]
+            size_ub = np.minimum(parent_sizes[left], parent_sizes[right])
+            error_ub = np.minimum(parent_errors[left], parent_errors[right])
+            max_error_ub = np.minimum(
+                parent_max_errors[left], parent_max_errors[right]
+            )
+            if pruning.by_score:
+                # The pair-level bound already upper-bounds the slice score;
+                # dropping failing pairs here keeps memory proportional to
+                # surviving candidates.  Any dedup group containing a failing
+                # pair has an even lower group bound, so the group-level
+                # pruning below remains exact.
+                sc_ub = score_upper_bound(
+                    size_ub, error_ub, max_error_ub,
+                    num_rows, total_error, sigma, alpha,
+                )
+                passing = (sc_ub > topk_min_score) & (sc_ub >= 0.0)
+                recorder.pruned_by_score += int(passing.size - passing.sum())
+                if not passing.any():
+                    continue
+                left, right, keys = left[passing], right[passing], keys[passing]
+                size_ub, error_ub, max_error_ub = (
+                    size_ub[passing], error_ub[passing], max_error_ub[passing],
+                )
+            acc.append(keys, left, right, size_ub, error_ub, max_error_ub)
+    if acc.empty:
+        return empty, None
+    keys, left, right, size_ub, error_ub, max_error_ub = acc.concatenated()
+
+    # -- step 6: deduplicate via slice-ID keys --------------------------------
+    if pruning.deduplicate:
+        unique_keys, first_index, group = np.unique(
+            keys, axis=0, return_index=True, return_inverse=True
+        )
+        group = group.ravel()
+        num_groups = int(first_index.size)
+        grouped_size_ub = _group_min(size_ub, group, num_groups)
+        grouped_error_ub = _group_min(error_ub, group, num_groups)
+        grouped_max_error_ub = _group_min(max_error_ub, group, num_groups)
+        num_parents = _distinct_parent_count(group, num_groups, left, right)
+    else:
+        unique_keys = keys
+        num_groups = int(keys.shape[0])
+        grouped_size_ub = size_ub
+        grouped_error_ub = error_ub
+        grouped_max_error_ub = max_error_ub
+        num_parents = np.full(num_groups, 2, dtype=np.int64)
+    recorder.deduplicated = num_groups
+
+    # -- step 7: pruning per Equation 9 ---------------------------------------
+    keep_mask = np.ones(num_groups, dtype=bool)
+    if pruning.by_size:
+        size_ok = grouped_size_ub >= sigma
+        recorder.pruned_by_size += int(np.count_nonzero(keep_mask & ~size_ok))
+        keep_mask &= size_ok
+    if pruning.handle_missing_parents:
+        parents_ok = num_parents == level
+        recorder.pruned_by_parents += int(np.count_nonzero(keep_mask & ~parents_ok))
+        keep_mask &= parents_ok
+    bounds: np.ndarray | None = None
+    if pruning.by_score:
+        sc_ub = score_upper_bound(
+            grouped_size_ub,
+            grouped_error_ub,
+            grouped_max_error_ub,
+            num_rows,
+            total_error,
+            sigma,
+            alpha,
+        )
+        score_ok = (sc_ub > topk_min_score) & (sc_ub >= 0.0)
+        recorder.pruned_by_score += int(np.count_nonzero(keep_mask & ~score_ok))
+        keep_mask &= score_ok
+        bounds = sc_ub
+
+    kept = np.flatnonzero(keep_mask)
+    if kept.size == 0:
+        return empty, None
+    return (
+        _keys_to_matrix(unique_keys[kept], level, num_cols),
+        bounds[kept] if bounds is not None else None,
+    )
+
+
+def _merge_keys(
+    slices: sp.csr_matrix, left: np.ndarray, right: np.ndarray, level: int
+) -> np.ndarray:
+    """Sorted column-index keys of the merged slices ``S[left] | S[right]``.
+
+    Joined parents overlap in exactly ``L-2`` predicates, so every union has
+    exactly ``L`` set columns: the CSR ``indices`` array reshapes into a
+    dense ``num_pairs x L`` key matrix (rows sorted ascending — CSR
+    canonical form), the compact equivalent of the paper's mixed-radix IDs.
+    """
+    merged = (slices[left] + slices[right]).tocsr()
+    merged.sum_duplicates()
+    merged.sort_indices()
+    if merged.nnz != level * left.size:
+        raise AssertionError(
+            "pair merge invariant violated: unions must have exactly L columns"
+        )
+    return merged.indices.reshape(left.size, level).astype(np.int64)
+
+
+def _feature_valid(keys: np.ndarray, feature_map: np.ndarray) -> np.ndarray:
+    """Rows whose ``L`` columns touch ``L`` distinct original features.
+
+    One-hot columns of the same feature are contiguous, so in the sorted key
+    rows two predicates on one feature are adjacent — an adjacent-difference
+    check replaces the paper's per-feature ``rowSums`` scan.
+    """
+    if keys.shape[1] == 1:
+        return np.ones(keys.shape[0], dtype=bool)
+    feats = feature_map[keys]
+    return np.all(feats[:, 1:] != feats[:, :-1], axis=1)
+
+
+def _keys_to_matrix(keys: np.ndarray, level: int, num_cols: int) -> sp.csr_matrix:
+    """Build the 0/1 candidate matrix from sorted column-index keys."""
+    num_slices = keys.shape[0]
+    indptr = np.arange(0, num_slices * level + 1, level, dtype=np.int64)
+    data = np.ones(num_slices * level, dtype=np.float64)
+    return sp.csr_matrix(
+        (data, keys.ravel().astype(np.int32), indptr),
+        shape=(num_slices, num_cols),
+    )
+
+
+def _group_min(values: np.ndarray, group: np.ndarray, num_groups: int) -> np.ndarray:
+    """Per-group minimum (the paper's reciprocal-rowMaxs trick, done directly)."""
+    result = np.full(num_groups, np.inf, dtype=np.float64)
+    np.minimum.at(result, group, values)
+    return result
+
+
+def _distinct_parent_count(
+    group: np.ndarray, num_groups: int, left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Number of distinct surviving parents per deduplicated candidate.
+
+    Implements ``np = rowSums((M (P1 + P2)) != 0)``: every pair contributes
+    its two parents to its candidate's group; counting distinct parent ids
+    per group yields ``np``, which must equal ``L`` for a fully supported
+    candidate at level ``L``.
+    """
+    pairs = np.concatenate(
+        [
+            np.stack([group, left], axis=1),
+            np.stack([group, right], axis=1),
+        ]
+    )
+    unique_pairs = np.unique(pairs, axis=0)
+    return np.bincount(unique_pairs[:, 0], minlength=num_groups).astype(np.int64)
+
+
+__all__ = ["get_pair_candidates"]

@@ -1,0 +1,84 @@
+"""Top-K maintenance (Section 4.5).
+
+Once per lattice level, the newly evaluated slices are filtered by validity
+(``sc > 0`` and ``|S| >= sigma``), concatenated with the current top-K, and
+the best K are kept, sorted by descending score.  Ties are broken by larger
+size, then larger error, so results are deterministic across runs and
+platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.types import StatsCol, empty_stats
+from repro.linalg import as_csr, vstack_rows
+
+
+def empty_topk(num_columns: int) -> tuple[sp.csr_matrix, np.ndarray]:
+    """An empty ``(TS, TR)`` pair in a one-hot space of *num_columns*."""
+    return sp.csr_matrix((0, num_columns), dtype=np.float64), empty_stats(0)
+
+
+def maintain_topk(
+    slices: sp.csr_matrix,
+    stats: np.ndarray,
+    top_slices: sp.csr_matrix,
+    top_stats: np.ndarray,
+    k: int,
+    sigma: int,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Merge newly scored *slices* into the running top-K.
+
+    Returns the new ``(TS, TR)`` pair sorted by descending score.  Slices
+    enumerated at different levels are necessarily distinct (they differ in
+    predicate count), so no cross-level deduplication is needed.
+    """
+    slices = as_csr(slices)
+    valid = (stats[:, StatsCol.SCORE] > 0) & (stats[:, StatsCol.SIZE] >= sigma)
+    kept = np.flatnonzero(valid)
+    if kept.size == 0 and top_slices.shape[0] == 0:
+        return empty_topk(slices.shape[1])
+
+    candidates = as_csr(vstack_rows(top_slices, slices[kept]))
+    candidate_stats = np.vstack([top_stats, stats[kept]])
+
+    order = np.lexsort(
+        (
+            -candidate_stats[:, StatsCol.ERROR],
+            -candidate_stats[:, StatsCol.SIZE],
+            -candidate_stats[:, StatsCol.SCORE],
+        )
+    )
+    # Walk the sorted order keeping only *distinct* slices: with
+    # deduplication disabled (the Figure 3 "none" arm) the same slice can
+    # reach the top-K from several generating pairs, and Definition 2 asks
+    # for K distinct slices.
+    top: list[int] = []
+    seen: set[tuple[int, ...]] = set()
+    for index in order:
+        key = tuple(
+            candidates.indices[
+                candidates.indptr[index] : candidates.indptr[index + 1]
+            ].tolist()
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        top.append(int(index))
+        if len(top) == k:
+            break
+    return candidates[top], candidate_stats[top]
+
+
+def topk_min_score(top_stats: np.ndarray, k: int) -> float:
+    """The score-pruning threshold ``sc_k`` (Section 3.2).
+
+    While fewer than K slices are known the threshold is 0.0 (every valid
+    slice must beat a zero score anyway); afterwards it is the K-th best
+    score, which only ever increases.
+    """
+    if top_stats.shape[0] < k:
+        return 0.0
+    return float(top_stats[k - 1, StatsCol.SCORE])

@@ -1,0 +1,48 @@
+"""Schema-driven synthetic datasets reproducing Table 1's characteristics.
+
+No network access is available (and Criteo-scale data would not fit a
+laptop anyway), so each dataset of the paper's evaluation is reproduced as
+a *generator* matching the published characteristics: row count ``n``
+(scalable), feature count ``m``, one-hot width ``l``, task type, value
+skew, correlated column groups, and planted problematic slices that give
+SliceLine something real to find.
+
+Use :func:`load_dataset` with a registry name (``adult``, ``covtype``,
+``kdd98``, ``uscensus``, ``uscensus10x``, ``criteod21``, ``salaries``).
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    DatasetBundle,
+    dataset_summary,
+    load_dataset,
+)
+from repro.datasets.synth import (
+    LabeledData,
+    PlantedSlice,
+    correlated_group,
+    inject_classification_errors,
+    inject_regression_errors,
+    make_classification_labels,
+    make_regression_targets,
+    plant_slices,
+    replicate_dataset,
+    sample_categorical,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetBundle",
+    "dataset_summary",
+    "load_dataset",
+    "LabeledData",
+    "PlantedSlice",
+    "correlated_group",
+    "inject_classification_errors",
+    "inject_regression_errors",
+    "make_classification_labels",
+    "make_regression_targets",
+    "plant_slices",
+    "replicate_dataset",
+    "sample_categorical",
+]

@@ -1,0 +1,175 @@
+"""Dataset registry: one named loader per Table 1 dataset.
+
+:func:`load_dataset` is the single entry point used by tests, examples and
+benchmarks; it returns a :class:`DatasetBundle` with the encoded features,
+error vector, planted ground truth, and bookkeeping for the Table 1
+characteristics report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets import adult, census, covtype, criteo, kdd98, salaries
+from repro.datasets.synth import PlantedSlice, replicate_dataset
+from repro.exceptions import DatasetError
+
+
+@dataclass
+class DatasetBundle:
+    """A ready-to-debug dataset: encoded features plus model errors."""
+
+    name: str
+    task: str
+    x0: np.ndarray
+    errors: np.ndarray
+    feature_names: tuple[str, ...]
+    planted: list[PlantedSlice] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.x0.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        return int(self.x0.shape[1])
+
+    @property
+    def num_onehot_columns(self) -> int:
+        """``l`` — width after one-hot encoding (sum of observed domains)."""
+        return int(self.x0.max(axis=0).sum())
+
+
+def _load_adult(scale: float, seed: int) -> DatasetBundle:
+    num_rows = max(1000, int(adult.DEFAULT_NUM_ROWS * scale))
+    x0, errors, planted = adult.generate(num_rows=num_rows, seed=seed)
+    return DatasetBundle(
+        "adult", "2-class", x0, errors, adult.FEATURE_NAMES, planted
+    )
+
+
+def _load_covtype(scale: float, seed: int) -> DatasetBundle:
+    x0, errors, planted = covtype.generate(scale=scale, seed=seed)
+    return DatasetBundle(
+        "covtype", "7-class", x0, errors, covtype.FEATURE_NAMES, planted,
+        notes="correlated column groups; cap max_level at 3-4",
+    )
+
+
+def _load_kdd98(scale: float, seed: int) -> DatasetBundle:
+    x0, errors, planted = kdd98.generate(scale=scale, seed=seed)
+    return DatasetBundle(
+        "kdd98", "regression", x0, errors, kdd98.FEATURE_NAMES, planted,
+        notes="many features; thousands of basic slices",
+    )
+
+
+def _load_uscensus(scale: float, seed: int) -> DatasetBundle:
+    x0, errors, planted = census.generate(scale=scale, seed=seed)
+    return DatasetBundle(
+        "uscensus", "4-class", x0, errors, census.FEATURE_NAMES, planted,
+        notes="strong correlations; labels via K-Means in the paper",
+    )
+
+
+def _load_uscensus10x(scale: float, seed: int) -> DatasetBundle:
+    base = _load_uscensus(scale, seed)
+    x_rep, e_rep = replicate_dataset(base.x0, base.errors, row_factor=10)
+    return DatasetBundle(
+        "uscensus10x", "4-class", x_rep, e_rep, base.feature_names, base.planted,
+        notes="uscensus replicated 10x row-wise (Figure 7a setup)",
+    )
+
+
+def _load_criteod21(scale: float, seed: int) -> DatasetBundle:
+    num_rows = max(10_000, int(100_000 * scale * 10))  # scale=0.1 -> 100k rows
+    x0, errors, planted = criteo.generate(num_rows=num_rows, seed=seed)
+    return DatasetBundle(
+        "criteod21", "2-class", x0, errors, criteo.FEATURE_NAMES, planted,
+        notes="ultra-sparse; huge categorical domains; Table 2 setup",
+    )
+
+
+def _load_salaries(scale: float, seed: int) -> DatasetBundle:
+    num_rows = max(50, int(salaries.DEFAULT_NUM_ROWS * scale))
+    x0, errors, planted = salaries.generate(num_rows=num_rows, seed=seed)
+    return DatasetBundle(
+        "salaries", "regression", x0, errors, salaries.FEATURE_NAMES, planted,
+        notes="tiny ablation dataset; use salaries2x2 for Figure 3",
+    )
+
+
+def _load_salaries2x2(scale: float, seed: int) -> DatasetBundle:
+    num_rows = max(50, int(salaries.DEFAULT_NUM_ROWS * scale))
+    x0, errors = salaries.generate_2x2(num_rows=num_rows, seed=seed)
+    names = tuple(
+        f"{name}_copy{c}" for c in (1, 2) for name in salaries.FEATURE_NAMES
+    )
+    return DatasetBundle(
+        "salaries2x2", "regression", x0, errors, names,
+        notes="rows and columns replicated 2x (Figure 3 ablation input)",
+    )
+
+
+_LOADERS = {
+    "adult": (_load_adult, 1.0),
+    "covtype": (_load_covtype, 0.05),
+    "kdd98": (_load_kdd98, 0.025),
+    "uscensus": (_load_uscensus, 0.01),
+    "uscensus10x": (_load_uscensus10x, 0.01),
+    "criteod21": (_load_criteod21, 0.1),
+    "salaries": (_load_salaries, 1.0),
+    "salaries2x2": (_load_salaries2x2, 1.0),
+}
+
+DATASET_NAMES = tuple(_LOADERS)
+
+#: Table 1 reference characteristics (full-scale n, m, l) for reporting.
+PAPER_CHARACTERISTICS = {
+    "adult": (32_561, 14, 162),
+    "covtype": (581_012, 54, 188),
+    "kdd98": (95_412, 469, 8_378),
+    "uscensus": (2_458_285, 68, 378),
+    "uscensus10x": (24_582_850, 68, 378),
+    "criteod21": (192_215_183, 39, 75_573_541),
+    "salaries": (397, 5, 27),
+}
+
+
+def load_dataset(
+    name: str, scale: float | None = None, seed: int = 0
+) -> DatasetBundle:
+    """Load a registry dataset by *name*.
+
+    *scale* multiplies the paper's row count (each dataset has a sensible
+    laptop-scale default); *seed* controls the generator.  Raises
+    :class:`DatasetError` for unknown names.
+    """
+    if name not in _LOADERS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASET_NAMES)}"
+        )
+    loader, default_scale = _LOADERS[name]
+    effective = default_scale if scale is None else scale
+    if effective <= 0:
+        raise DatasetError("scale must be positive")
+    return loader(effective, seed)
+
+
+def dataset_summary(bundle: DatasetBundle) -> dict:
+    """One Table 1 row for *bundle* (measured, plus the paper's reference)."""
+    paper = PAPER_CHARACTERISTICS.get(bundle.name)
+    return {
+        "dataset": bundle.name,
+        "task": bundle.task,
+        "n": bundle.num_rows,
+        "m": bundle.num_features,
+        "l": bundle.num_onehot_columns,
+        "paper_n": paper[0] if paper else None,
+        "paper_m": paper[1] if paper else None,
+        "paper_l": paper[2] if paper else None,
+        "notes": bundle.notes,
+    }

@@ -1,0 +1,111 @@
+"""Salaries dataset (the R ``carData::Salaries`` professor-salary table).
+
+Paper characteristics (Table 1): ``n = 397``, ``m = 5``, ``l = 27``,
+regression task — the tiny ablation dataset of Figure 3, used there in a
+"2x2" replication (rows and columns doubled, giving ``m = 10`` and extra
+correlation) to stress pruning and deduplication.
+
+This module *synthesizes* the table from its published schema — rank
+(AsstProf/AssocProf/Prof), discipline (A/B), years-since-PhD, years of
+service, sex, and a salary driven by rank/discipline/experience — and runs
+it through the real preprocessing pipeline (recode + 10 equi-width bins),
+yielding exactly ``l = 27`` one-hot columns (3 + 2 + 10 + 10 + 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synth import PlantedSlice, replicate_dataset
+from repro.ml.errors import squared_loss
+from repro.ml.linreg import LinearRegression
+from repro.preprocessing import ColumnSpec, Preprocessor
+
+DEFAULT_NUM_ROWS = 397
+RANKS = ("AsstProf", "AssocProf", "Prof")
+DISCIPLINES = ("A", "B")
+SEXES = ("Female", "Male")
+
+FEATURE_NAMES = ("rank", "discipline", "yrs_since_phd", "yrs_service", "sex")
+
+
+def generate_table(
+    num_rows: int = DEFAULT_NUM_ROWS, seed: int = 0
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """Raw column table plus the salary target vector."""
+    rng = np.random.default_rng(seed)
+    rank_idx = rng.choice(3, size=num_rows, p=[0.17, 0.16, 0.67])
+    discipline_idx = rng.choice(2, size=num_rows, p=[0.45, 0.55])
+    sex_idx = rng.choice(2, size=num_rows, p=[0.1, 0.9])
+    yrs_phd = np.clip(rng.gamma(shape=4.0, scale=5.5, size=num_rows), 1, 56)
+    yrs_service = np.clip(yrs_phd - rng.gamma(2.0, 2.0, size=num_rows), 0, 60)
+
+    base = np.array([80_000.0, 93_000.0, 126_000.0])[rank_idx]
+    discipline_bonus = np.array([0.0, 9_000.0])[discipline_idx]
+    experience = 500.0 * yrs_phd - 120.0 * yrs_service
+    noise = rng.normal(0.0, 18_000.0, size=num_rows)
+    # A planted interaction the linear model cannot represent: senior
+    # professors in discipline A with long service are systematically
+    # underpaid relative to the additive trend.
+    problem = (rank_idx == 2) & (discipline_idx == 0) & (yrs_service > 20)
+    salary = base + discipline_bonus + experience + noise - 35_000.0 * problem
+
+    table = {
+        "rank": np.array(RANKS)[rank_idx],
+        "discipline": np.array(DISCIPLINES)[discipline_idx],
+        "yrs_since_phd": yrs_phd,
+        "yrs_service": yrs_service,
+        "sex": np.array(SEXES)[sex_idx],
+    }
+    return table, salary
+
+
+def column_specs() -> list[ColumnSpec]:
+    """Paper preprocessing: recode categoricals, 10 equi-width bins."""
+    return [
+        ColumnSpec("rank", "categorical"),
+        ColumnSpec("discipline", "categorical"),
+        ColumnSpec("yrs_since_phd", "numeric", num_bins=10),
+        ColumnSpec("yrs_service", "numeric", num_bins=10),
+        ColumnSpec("sex", "categorical"),
+    ]
+
+
+def generate(
+    num_rows: int = DEFAULT_NUM_ROWS, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, list[PlantedSlice]]:
+    """Encoded features and squared-loss errors of a genuinely trained lm.
+
+    This dataset always takes the honest model path (train linear
+    regression on the one-hot features, errors are its squared residuals)
+    because it is tiny; the planted ground truth is the underpaid
+    senior-Prof/discipline-A interaction described in :func:`generate_table`.
+    """
+    table, salary = generate_table(num_rows, seed)
+    encoded = Preprocessor(column_specs()).fit_transform(table)
+    from repro.linalg import to_dense
+
+    dense = to_dense(encoded.feature_space.encode(encoded.x0))
+    model = LinearRegression(l2=1e-6).fit(dense, salary)
+    errors = squared_loss(salary, model.predict(dense))
+    rank_code = 1 + sorted(RANKS).index("Prof")
+    discipline_code = 1 + sorted(DISCIPLINES).index("A")
+    planted = [
+        PlantedSlice(
+            predicates={0: rank_code, 1: discipline_code}, error_rate=1.0
+        )
+    ]
+    return encoded.x0, errors, planted
+
+
+def generate_2x2(
+    num_rows: int = DEFAULT_NUM_ROWS, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """The Figure 3 ablation input: rows and columns replicated 2x each.
+
+    Column replication doubles ``m`` to 10 with perfectly correlated copies
+    (extra redundancy for deduplication); row replication doubles ``n`` to
+    794.
+    """
+    x0, errors, _ = generate(num_rows, seed)
+    return replicate_dataset(x0, errors, row_factor=2, col_factor=2)

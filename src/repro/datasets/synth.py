@@ -1,0 +1,267 @@
+"""Synthetic data machinery: feature sampling, correlation, error injection.
+
+The pruning behaviour SliceLine's evaluation studies depends on three data
+characteristics: the distribution of slice sizes (value skew), correlated
+column groups (Covtype/USCensus), and where model errors concentrate
+(planted problematic slices).  The helpers here control exactly those
+properties, so the schema-driven dataset generators in this package can
+reproduce the *shape* of each Table 1 dataset without the original files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+
+def sample_categorical(
+    rng: np.random.Generator, num_rows: int, domain: int, skew: float = 1.0
+) -> np.ndarray:
+    """Sample 1-based codes from a Zipf-like distribution over ``1..domain``.
+
+    ``skew = 0`` is uniform; larger values concentrate mass on low codes
+    (one dominant category, a long tail), which is what produces the mix of
+    large and small basic slices the paper observes on Adult.
+    """
+    if domain < 1:
+        raise DatasetError("domain must be >= 1")
+    if domain == 1:
+        return np.ones(num_rows, dtype=np.int64)
+    ranks = np.arange(1, domain + 1, dtype=np.float64)
+    weights = ranks ** (-skew) if skew > 0 else np.ones(domain)
+    probs = weights / weights.sum()
+    return rng.choice(domain, size=num_rows, p=probs).astype(np.int64) + 1
+
+
+def correlated_group(
+    rng: np.random.Generator,
+    num_rows: int,
+    domains: Sequence[int],
+    strength: float = 0.9,
+    skew: float = 0.5,
+) -> np.ndarray:
+    """Generate a group of columns driven by one shared latent variable.
+
+    With probability *strength* a column repeats (a scaled version of) the
+    latent code; otherwise it samples independently.  High strength makes
+    conjunctions across the group nearly as large as single predicates —
+    the correlation structure that defeats early termination on Covtype and
+    USCensus (Figure 4(b)).
+    """
+    if not (0.0 <= strength <= 1.0):
+        raise DatasetError("strength must be within [0, 1]")
+    latent_domain = max(domains)
+    latent = sample_categorical(rng, num_rows, latent_domain, skew)
+    columns = []
+    for domain in domains:
+        derived = ((latent - 1) * domain) // latent_domain + 1
+        independent = sample_categorical(rng, num_rows, domain, skew)
+        use_latent = rng.random(num_rows) < strength
+        columns.append(np.where(use_latent, derived, independent))
+    return np.column_stack(columns).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class PlantedSlice:
+    """A ground-truth problematic slice injected into a synthetic dataset."""
+
+    predicates: Mapping[int, int]
+    error_rate: float
+
+    def mask(self, x0: np.ndarray) -> np.ndarray:
+        mask = np.ones(x0.shape[0], dtype=bool)
+        for feature, value in self.predicates.items():
+            mask &= x0[:, feature] == value
+        return mask
+
+
+def plant_slices(
+    x0: np.ndarray,
+    rng: np.random.Generator,
+    num_slices: int = 3,
+    levels: tuple[int, int] = (1, 3),
+    min_fraction: float = 0.01,
+    max_fraction: float = 0.2,
+    error_rates: tuple[float, float] = (0.6, 0.95),
+    max_attempts: int = 500,
+) -> list[PlantedSlice]:
+    """Pick random conjunctions with real support to act as problem slices.
+
+    Each planted slice is sampled by picking a random data row and keeping a
+    random subset of its feature values, so the slice is guaranteed
+    non-empty; candidates outside ``[min_fraction, max_fraction]`` of the
+    rows are rejected (a "problematic slice" that covers half the dataset
+    would dominate the average error rather than hide below it).
+    """
+    num_rows, num_features = x0.shape
+    planted: list[PlantedSlice] = []
+    seen: set[frozenset] = set()
+    attempts = 0
+    while len(planted) < num_slices and attempts < max_attempts:
+        attempts += 1
+        level = int(rng.integers(levels[0], levels[1] + 1))
+        level = min(level, num_features)
+        anchor = x0[rng.integers(num_rows)]
+        features = rng.choice(num_features, size=level, replace=False)
+        predicates = {int(f): int(anchor[f]) for f in features}
+        key = frozenset(predicates.items())
+        if key in seen:
+            continue
+        candidate = PlantedSlice(
+            predicates=predicates,
+            error_rate=float(rng.uniform(*error_rates)),
+        )
+        fraction = candidate.mask(x0).mean()
+        if min_fraction <= fraction <= max_fraction:
+            seen.add(key)
+            planted.append(candidate)
+    if not planted:
+        raise DatasetError(
+            "could not plant any slice with the requested support; "
+            "lower min_fraction or the level range"
+        )
+    return planted
+
+
+def inject_classification_errors(
+    x0: np.ndarray,
+    planted: Sequence[PlantedSlice],
+    rng: np.random.Generator,
+    base_rate: float = 0.08,
+) -> np.ndarray:
+    """0/1 error vector: *base_rate* everywhere, elevated inside planted slices.
+
+    This is the fast, deterministic-ground-truth alternative to actually
+    training a model; the error distribution matches what a trained
+    classifier produces on data with planted label noise.
+    """
+    num_rows = x0.shape[0]
+    errors = (rng.random(num_rows) < base_rate).astype(np.float64)
+    for sl in planted:
+        mask = sl.mask(x0)
+        errors[mask] = (rng.random(int(mask.sum())) < sl.error_rate).astype(np.float64)
+    return errors
+
+
+def inject_regression_errors(
+    x0: np.ndarray,
+    planted: Sequence[PlantedSlice],
+    rng: np.random.Generator,
+    base_scale: float = 1.0,
+    slice_boost: float = 3.5,
+    background_spread: float = 0.3,
+    jitter: float = 0.2,
+) -> np.ndarray:
+    """Squared-loss-like error vector with uniformly elevated planted slices.
+
+    The background models a *well-fit* regressor: per-tuple errors uniform
+    in ``base_scale * [1 - spread, 1 + spread]`` (homoscedastic, bounded —
+    as squared residuals of bounded targets like KDD98 donation amounts
+    are).  Planted slices receive errors ``slice_boost * error_rate`` times
+    the background average with ``+/- jitter`` relative noise.
+
+    Both choices are deliberate and load-bearing for pruning behaviour: a
+    heavy error tail anywhere inflates the ``sm`` (maximum tuple error)
+    upper bound of *every* slice overlapping it, which makes the Equation-3
+    score bound vacuous and defeats score pruning globally — neither how
+    systematic model failures look nor how the paper's datasets behave.
+    """
+    num_rows = x0.shape[0]
+    errors = base_scale * rng.uniform(
+        1.0 - background_spread, 1.0 + background_spread, size=num_rows
+    )
+    background_avg = float(errors.mean())
+    for sl in planted:
+        mask = sl.mask(x0)
+        count = int(mask.sum())
+        level = background_avg * max(1.5, slice_boost * sl.error_rate)
+        errors[mask] = level * rng.uniform(1.0 - jitter, 1.0 + jitter, size=count)
+    return errors
+
+
+@dataclass
+class LabeledData:
+    """Features plus labels generated from a ground-truth mechanism."""
+
+    x0: np.ndarray
+    labels: np.ndarray
+    planted: list[PlantedSlice] = field(default_factory=list)
+
+
+def make_classification_labels(
+    x0: np.ndarray,
+    planted: Sequence[PlantedSlice],
+    rng: np.random.Generator,
+    num_classes: int = 2,
+    label_noise: float = 0.02,
+) -> LabeledData:
+    """Generate labels a linear model can mostly learn — except in slices.
+
+    Labels follow a random linear score of the one-hot features (so a
+    trained classifier achieves good accuracy), then labels inside each
+    planted slice are re-randomized with probability ``error_rate``.  A
+    model trained on this data genuinely underperforms on the planted
+    slices, giving the honest end-to-end debugging workflow.
+    """
+    from repro.core.onehot import FeatureSpace
+    from repro.linalg import to_dense
+
+    space = FeatureSpace.from_matrix(x0)
+    dense = to_dense(space.encode(x0))
+    weights = rng.normal(0.0, 1.0, size=(dense.shape[1], num_classes))
+    scores = dense @ weights
+    labels = scores.argmax(axis=1)
+
+    flip = rng.random(x0.shape[0]) < label_noise
+    labels[flip] = rng.integers(0, num_classes, size=int(flip.sum()))
+    for sl in planted:
+        mask = sl.mask(x0)
+        corrupt = mask & (rng.random(x0.shape[0]) < sl.error_rate)
+        labels[corrupt] = rng.integers(0, num_classes, size=int(corrupt.sum()))
+    return LabeledData(x0=x0, labels=labels.astype(np.int64), planted=list(planted))
+
+
+def make_regression_targets(
+    x0: np.ndarray,
+    planted: Sequence[PlantedSlice],
+    rng: np.random.Generator,
+    noise_scale: float = 0.5,
+) -> LabeledData:
+    """Linear targets with extra noise inside planted slices (regression)."""
+    from repro.core.onehot import FeatureSpace
+    from repro.linalg import to_dense
+
+    space = FeatureSpace.from_matrix(x0)
+    dense = to_dense(space.encode(x0))
+    weights = rng.normal(0.0, 1.0, size=dense.shape[1])
+    targets = dense @ weights + rng.normal(0.0, noise_scale, size=x0.shape[0])
+    for sl in planted:
+        mask = sl.mask(x0)
+        targets[mask] += rng.normal(
+            0.0, noise_scale * 8.0 * sl.error_rate, size=int(mask.sum())
+        )
+    return LabeledData(x0=x0, labels=targets, planted=list(planted))
+
+
+def replicate_dataset(
+    x0: np.ndarray,
+    errors: np.ndarray,
+    row_factor: int = 1,
+    col_factor: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Replicate rows and/or columns (the paper's "Salaries 2x2" and
+    "USCensus 10x" constructions).
+
+    Row replication tiles the data (errors tile along); column replication
+    appends copies of all feature columns, which creates perfectly
+    correlated features — the stress case for deduplication and pruning.
+    """
+    if row_factor < 1 or col_factor < 1:
+        raise DatasetError("replication factors must be >= 1")
+    x_rep = np.tile(x0, (row_factor, col_factor))
+    e_rep = np.tile(np.asarray(errors, dtype=np.float64), row_factor)
+    return x_rep.astype(np.int64), e_rep

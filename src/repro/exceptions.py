@@ -1,0 +1,35 @@
+"""Exception hierarchy for the SliceLine reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (matrix, vector, or parameter) failed validation."""
+
+
+class ShapeError(ValidationError):
+    """Two inputs have incompatible shapes (e.g. ``X`` rows vs ``e`` length)."""
+
+
+class EncodingError(ReproError, ValueError):
+    """Integer-encoded feature matrix violates the 1-based contiguous contract."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object holds an invalid combination of parameters."""
+
+
+class DatasetError(ReproError, RuntimeError):
+    """A synthetic dataset generator was asked for an impossible schema."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A parallel or distributed execution backend failed."""

@@ -1,0 +1,31 @@
+"""Experiment harness: workload configs, runners, and result recording.
+
+One workload per table/figure of the paper's evaluation (Section 5); the
+benchmark scripts under ``benchmarks/`` are thin wrappers that execute
+these workloads and print the regenerated rows/series.
+"""
+
+from repro.experiments.harness import (
+    EnumerationReport,
+    run_pruning_ablation,
+    run_sliceline,
+)
+from repro.experiments.recorder import format_table, records_to_csv
+from repro.experiments.workloads import (
+    ALPHA_SWEEP_VALUES,
+    BENCH_LEVEL_CAPS,
+    bench_config,
+    bench_sigma,
+)
+
+__all__ = [
+    "EnumerationReport",
+    "run_pruning_ablation",
+    "run_sliceline",
+    "format_table",
+    "records_to_csv",
+    "ALPHA_SWEEP_VALUES",
+    "BENCH_LEVEL_CAPS",
+    "bench_config",
+    "bench_sigma",
+]

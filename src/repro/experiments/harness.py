@@ -1,0 +1,113 @@
+"""Runners that execute a workload and collect enumeration reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import PruningConfig, SliceLineConfig, slice_line
+from repro.core.types import SliceLineResult
+
+
+@dataclass
+class EnumerationReport:
+    """Per-level slice counts and timings of one SliceLine run.
+
+    This is the data behind Figures 3-4 and Table 2: evaluated candidates,
+    valid slices, pruning/skipping counters, and elapsed seconds per level.
+    """
+
+    dataset: str
+    config_label: str
+    levels: list[int] = field(default_factory=list)
+    evaluated: list[int] = field(default_factory=list)
+    valid: list[int] = field(default_factory=list)
+    pruned_by_size: list[int] = field(default_factory=list)
+    pruned_by_score: list[int] = field(default_factory=list)
+    pruned_by_parents: list[int] = field(default_factory=list)
+    skipped_by_priority: list[int] = field(default_factory=list)
+    elapsed_seconds: list[float] = field(default_factory=list)
+    total_seconds: float = 0.0
+    top_scores: list[float] = field(default_factory=list)
+    top_sizes: list[int] = field(default_factory=list)
+
+    @classmethod
+    def from_result(
+        cls, result: SliceLineResult, dataset: str, config_label: str
+    ) -> "EnumerationReport":
+        report = cls(dataset=dataset, config_label=config_label)
+        for ls in result.level_stats:
+            report.levels.append(ls.level)
+            report.evaluated.append(ls.evaluated)
+            report.valid.append(ls.valid)
+            report.pruned_by_size.append(ls.pruned_by_size)
+            report.pruned_by_score.append(ls.pruned_by_score)
+            report.pruned_by_parents.append(ls.pruned_by_parents)
+            report.skipped_by_priority.append(ls.skipped_by_priority)
+            report.elapsed_seconds.append(ls.elapsed_seconds)
+        report.total_seconds = result.total_seconds
+        report.top_scores = [s.score for s in result.top_slices]
+        report.top_sizes = [s.size for s in result.top_slices]
+        return report
+
+    @property
+    def total_evaluated(self) -> int:
+        return int(sum(self.evaluated))
+
+    def rows(self) -> list[dict]:
+        """One dict per level, for tabular output."""
+        return [
+            {
+                "dataset": self.dataset,
+                "config": self.config_label,
+                "level": self.levels[i],
+                "evaluated": self.evaluated[i],
+                "valid": self.valid[i],
+                "pruned_size": self.pruned_by_size[i],
+                "pruned_score": self.pruned_by_score[i],
+                "pruned_parents": self.pruned_by_parents[i],
+                "skipped": self.skipped_by_priority[i],
+                "seconds": round(self.elapsed_seconds[i], 3),
+            }
+            for i in range(len(self.levels))
+        ]
+
+
+def run_sliceline(
+    x0: np.ndarray,
+    errors: np.ndarray,
+    config: SliceLineConfig,
+    dataset: str = "?",
+    config_label: str = "default",
+    num_threads: int = 1,
+) -> tuple[SliceLineResult, EnumerationReport]:
+    """Execute one workload and return result plus enumeration report."""
+    result = slice_line(x0, errors, config, num_threads=num_threads)
+    return result, EnumerationReport.from_result(result, dataset, config_label)
+
+
+def run_pruning_ablation(
+    x0: np.ndarray,
+    errors: np.ndarray,
+    base_config: SliceLineConfig,
+    dataset: str = "salaries2x2",
+    num_threads: int = 1,
+    arms: dict[str, PruningConfig] | None = None,
+) -> dict[str, EnumerationReport]:
+    """The Figure 3 ablation: one run per pruning configuration.
+
+    Priority evaluation is disabled for all arms so the per-level counts
+    reflect the pruning techniques alone (as in the paper).
+    """
+    arms = arms or PruningConfig.ablation_arms()
+    reports: dict[str, EnumerationReport] = {}
+    for label, pruning in arms.items():
+        cfg = base_config.with_overrides(
+            pruning=pruning, priority_evaluation=False
+        )
+        _, reports[label] = run_sliceline(
+            x0, errors, cfg, dataset=dataset, config_label=label,
+            num_threads=num_threads,
+        )
+    return reports

@@ -1,0 +1,37 @@
+"""Plain-text/CSV rendering of experiment records (no plotting deps)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(records: Sequence[Mapping], title: str | None = None) -> str:
+    """Render a list of dict records as an aligned monospace table."""
+    if not records:
+        return f"{title or 'table'}: <no rows>"
+    columns = list(records[0].keys())
+    rows = [[str(rec.get(col, "")) for col in columns] for rec in records]
+    widths = [
+        max(len(columns[i]), *(len(row[i]) for row in rows))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def records_to_csv(records: Sequence[Mapping]) -> str:
+    """Serialize records to CSV text (header from the first record)."""
+    if not records:
+        return ""
+    columns = list(records[0].keys())
+    lines = [",".join(columns)]
+    for rec in records:
+        lines.append(",".join(str(rec.get(col, "")) for col in columns))
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""DML/R-style linear-algebra primitives on numpy and scipy.sparse.
+
+The SliceLine paper expresses its enumeration algorithm in the vocabulary of
+an ML system's linear-algebra language (SystemDS DML / R): ``colMaxs``,
+``cumsum``, ``table(rix, cix)``, ``removeEmpty``, ``upper.tri``,
+``rowIndexMax`` and friends.  This subpackage implements those primitives on
+top of numpy / scipy.sparse so the core algorithm in :mod:`repro.core` can be
+written as a near-literal transcription of Algorithm 1 of the paper.
+"""
+
+from repro.linalg.ops import (
+    col_maxs,
+    col_mins,
+    col_sums,
+    contingency_table,
+    cumsum,
+    cumprod,
+    iter_upper_tri_pair_chunks,
+    one_hot_encode,
+    remove_empty_rows,
+    row_index_max,
+    row_maxs,
+    row_sums,
+    selection_matrix,
+    upper_tri_pairs,
+)
+from repro.linalg.sparse import (
+    as_csr,
+    density,
+    ensure_vector,
+    is_sparse,
+    to_dense,
+    vstack_rows,
+)
+from repro.linalg.blocks import BlockedMatrix, row_partitions
+
+__all__ = [
+    "col_maxs",
+    "col_mins",
+    "col_sums",
+    "contingency_table",
+    "cumsum",
+    "cumprod",
+    "iter_upper_tri_pair_chunks",
+    "one_hot_encode",
+    "remove_empty_rows",
+    "row_index_max",
+    "row_maxs",
+    "row_sums",
+    "selection_matrix",
+    "upper_tri_pairs",
+    "as_csr",
+    "density",
+    "ensure_vector",
+    "is_sparse",
+    "to_dense",
+    "vstack_rows",
+    "BlockedMatrix",
+    "row_partitions",
+]

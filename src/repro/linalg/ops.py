@@ -1,0 +1,245 @@
+"""DML/R-style primitives used by the SliceLine enumeration algorithm.
+
+Each function mirrors one primitive from the paper's pseudo-code:
+
+==================  =====================================================
+Paper / DML         Here
+==================  =====================================================
+``colMaxs(X)``      :func:`col_maxs`
+``colSums(X)``      :func:`col_sums`
+``cumsum(v)``       :func:`cumsum`
+``cumprod(v)``      :func:`cumprod`
+``table(rix,cix)``  :func:`contingency_table` / :func:`one_hot_encode`
+``removeEmpty``     :func:`remove_empty_rows`
+``rowIndexMax``     :func:`row_index_max`
+``rowMaxs``         :func:`row_maxs`
+``upper.tri(...)``  :func:`upper_tri_pairs`
+``P = table(...)``  :func:`selection_matrix`
+==================  =====================================================
+
+All functions accept dense arrays or scipy sparse matrices and return dense
+1-D arrays for reductions and CSR matrices for matrix-valued results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._typing import Matrix
+from repro.exceptions import ShapeError, ValidationError
+from repro.linalg.sparse import as_csr
+
+# Row-chunk budget (in matrix cells) for the chunked dense comparisons inside
+# upper_tri_pairs; bounds peak memory at ~64 MiB of float64 per chunk.
+_PAIR_CHUNK_CELLS = 8_000_000
+
+
+def col_sums(matrix: Matrix) -> np.ndarray:
+    """Column sums as a 1-D float64 array (``colSums`` in DML)."""
+    if sp.issparse(matrix):
+        return np.asarray(matrix.sum(axis=0), dtype=np.float64).ravel()
+    return np.asarray(matrix, dtype=np.float64).sum(axis=0)
+
+
+def row_sums(matrix: Matrix) -> np.ndarray:
+    """Row sums as a 1-D float64 array (``rowSums`` in DML)."""
+    if sp.issparse(matrix):
+        return np.asarray(matrix.sum(axis=1), dtype=np.float64).ravel()
+    return np.asarray(matrix, dtype=np.float64).sum(axis=1)
+
+
+def col_maxs(matrix: Matrix) -> np.ndarray:
+    """Column maxima as a 1-D array (``colMaxs``), including implicit zeros."""
+    if matrix.shape[0] == 0:
+        raise ValidationError("col_maxs of a matrix with zero rows is undefined")
+    if sp.issparse(matrix):
+        return np.asarray(matrix.tocsc().max(axis=0).todense()).ravel()
+    return np.asarray(matrix).max(axis=0)
+
+
+def col_mins(matrix: Matrix) -> np.ndarray:
+    """Column minima as a 1-D array (``colMins``), including implicit zeros."""
+    if matrix.shape[0] == 0:
+        raise ValidationError("col_mins of a matrix with zero rows is undefined")
+    if sp.issparse(matrix):
+        return np.asarray(matrix.tocsc().min(axis=0).todense()).ravel()
+    return np.asarray(matrix).min(axis=0)
+
+
+def row_maxs(matrix: Matrix) -> np.ndarray:
+    """Row maxima as a 1-D array (``rowMaxs``), including implicit zeros."""
+    if matrix.shape[1] == 0:
+        raise ValidationError("row_maxs of a matrix with zero columns is undefined")
+    if sp.issparse(matrix):
+        return np.asarray(matrix.tocsr().max(axis=1).todense()).ravel()
+    return np.asarray(matrix).max(axis=1)
+
+
+def row_index_max(matrix: Matrix) -> np.ndarray:
+    """Per-row index of the maximum value (``rowIndexMax``), 0-based.
+
+    For an all-zero sparse row the result is 0 (the first column), matching
+    DML's convention of returning the first index; callers combine this with
+    :func:`row_maxs` to mask such rows out.
+    """
+    if sp.issparse(matrix):
+        return np.asarray(matrix.tocsr().argmax(axis=1)).ravel()
+    return np.asarray(matrix).argmax(axis=1)
+
+
+def cumsum(values) -> np.ndarray:
+    """Cumulative sum of a 1-D vector (``cumsum``)."""
+    return np.cumsum(np.asarray(values))
+
+
+def cumprod(values) -> np.ndarray:
+    """Cumulative product of a 1-D vector (``cumprod``).
+
+    Uses ``object`` dtype when the exact product may overflow int64 so the
+    ND-array-index deduplication of Section 4.3 never wraps around.
+    """
+    arr = np.asarray(values)
+    if np.issubdtype(arr.dtype, np.integer):
+        # Exact integer cumprod: fall back to Python ints on overflow risk.
+        log_sum = np.sum(np.log2(np.maximum(arr.astype(np.float64), 1.0)))
+        if log_sum >= 62:
+            return np.cumprod(arr.astype(object))
+    return np.cumprod(arr)
+
+
+def contingency_table(
+    rix: np.ndarray, cix: np.ndarray, nrow: int, ncol: int
+) -> sp.csr_matrix:
+    """Sparse contingency table ``table(rix, cix)`` with explicit dimensions.
+
+    Counts each (row, column) index pair; indices are 0-based here (the
+    paper's pseudo-code is 1-based).
+    """
+    rix = np.asarray(rix, dtype=np.int64).ravel()
+    cix = np.asarray(cix, dtype=np.int64).ravel()
+    if rix.shape != cix.shape:
+        raise ShapeError("rix and cix must have identical lengths")
+    data = np.ones(rix.shape[0], dtype=np.float64)
+    table = sp.coo_matrix((data, (rix, cix)), shape=(nrow, ncol))
+    table.sum_duplicates()
+    return table.tocsr()
+
+
+def one_hot_encode(
+    x0: np.ndarray, feature_offsets: np.ndarray, num_columns: int
+) -> sp.csr_matrix:
+    """One-hot encode an integer matrix via the paper's ``table`` trick.
+
+    ``x0`` is the 1-based integer-encoded ``n x m`` feature matrix; column
+    ``j`` maps code ``v`` to one-hot column ``feature_offsets[j] + v - 1``.
+    Returns the sparse 0/1 matrix ``X`` of shape ``(n, num_columns)``.
+    Entries with code ``0`` (missing) produce no one-hot entry.
+    """
+    x0 = np.asarray(x0)
+    if x0.ndim != 2:
+        raise ShapeError(f"x0 must be a 2-D matrix, got shape {x0.shape}")
+    n, m = x0.shape
+    offsets = np.asarray(feature_offsets, dtype=np.int64)
+    if offsets.shape[0] != m:
+        raise ShapeError("feature_offsets must have one entry per column of x0")
+    rows = np.repeat(np.arange(n, dtype=np.int64), m)
+    cols = (x0.astype(np.int64) + offsets[np.newaxis, :] - 1).ravel()
+    present = (x0 > 0).ravel()
+    if not np.all(present):
+        rows, cols = rows[present], cols[present]
+    if cols.size and (cols.min() < 0 or cols.max() >= num_columns):
+        raise ValidationError(
+            "one-hot column index out of range; x0 codes must be 1-based and "
+            "bounded by the per-feature domain"
+        )
+    data = np.ones(rows.shape[0], dtype=np.float64)
+    return sp.coo_matrix((data, (rows, cols)), shape=(n, num_columns)).tocsr()
+
+
+def remove_empty_rows(
+    matrix: Matrix, select: np.ndarray | None = None
+) -> tuple[Matrix, np.ndarray]:
+    """``removeEmpty(target, margin="rows", select)`` with kept-index output.
+
+    When *select* is given it is a boolean/0-1 vector choosing rows directly;
+    otherwise rows whose entries are all zero are dropped.  Returns the
+    filtered matrix and the original row indices that were kept.
+    """
+    if select is not None:
+        keep = np.flatnonzero(np.asarray(select).ravel())
+    else:
+        keep = np.flatnonzero(row_sums(abs_matrix(matrix)) > 0)
+    if sp.issparse(matrix):
+        return matrix.tocsr()[keep], keep
+    return np.asarray(matrix)[keep], keep
+
+
+def abs_matrix(matrix: Matrix) -> Matrix:
+    """Element-wise absolute value preserving sparsity."""
+    if sp.issparse(matrix):
+        return abs(matrix)
+    return np.abs(np.asarray(matrix))
+
+
+def selection_matrix(indices: np.ndarray, num_source_rows: int) -> sp.csr_matrix:
+    """Build the extraction matrix ``P = table(seq(1,k), indices)``.
+
+    ``P @ M`` then selects (and reorders) the rows of ``M`` named by
+    *indices* — the paper uses this to materialize ``P1``/``P2`` for pair
+    construction and the final top-K extraction.
+    """
+    idx = np.asarray(indices, dtype=np.int64).ravel()
+    if idx.size and (idx.min() < 0 or idx.max() >= num_source_rows):
+        raise ValidationError("selection index out of range")
+    data = np.ones(idx.shape[0], dtype=np.float64)
+    rows = np.arange(idx.shape[0], dtype=np.int64)
+    return sp.coo_matrix(
+        (data, (rows, idx)), shape=(idx.shape[0], num_source_rows)
+    ).tocsr()
+
+
+def iter_upper_tri_pair_chunks(slices: Matrix, overlap: float):
+    """Yield ``(i, j)`` index-array chunks with ``i < j`` and dot product == *overlap*.
+
+    Implements ``I = upper.tri((S %*% t(S)) == (L-2), values=TRUE)`` from the
+    paper's pair-construction step without ever materializing the full
+    ``nr x nr`` Gram matrix: rows are processed in chunks whose dense
+    footprint stays below a fixed budget, and matches are yielded chunk by
+    chunk so callers can stream them (the full match set can be huge on
+    feature-rich data).  ``overlap == 0`` is handled correctly (implicit
+    zeros of the sparse Gram matrix count as matches).
+    """
+    s = as_csr(slices)
+    nr = s.shape[0]
+    if nr < 2:
+        return
+    st = s.T.tocsc()
+    chunk = max(1, _PAIR_CHUNK_CELLS // max(nr, 1))
+    for start in range(0, nr - 1, chunk):
+        stop = min(start + chunk, nr - 1)
+        gram = (s[start:stop] @ st).toarray()
+        match = gram == overlap
+        # Keep strictly-upper-triangular entries: global row < column.
+        local_rows, cols = np.nonzero(match)
+        global_rows = local_rows + start
+        upper = cols > global_rows
+        if upper.any():
+            yield global_rows[upper], cols[upper]
+
+
+def upper_tri_pairs(slices: Matrix, overlap: float) -> tuple[np.ndarray, np.ndarray]:
+    """All row pairs ``(i, j)`` with ``i < j`` whose dot product equals *overlap*.
+
+    Materialized convenience wrapper around
+    :func:`iter_upper_tri_pair_chunks`; prefer the iterator when the match
+    count may be large.
+    """
+    rows_out: list[np.ndarray] = []
+    cols_out: list[np.ndarray] = []
+    for rows, cols in iter_upper_tri_pair_chunks(slices, overlap):
+        rows_out.append(rows)
+        cols_out.append(cols)
+    if not rows_out:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(rows_out), np.concatenate(cols_out)

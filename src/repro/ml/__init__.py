@@ -1,0 +1,40 @@
+"""ML substrate: the models and error functions the paper debugs.
+
+The paper trains linear regression (``lm``) for regression datasets and
+multinomial logistic regression (``mlogit``) for classification, derives
+artificial labels for USCensus via K-Means, and feeds SliceLine with squared
+loss (regression) or 0/1 inaccuracy (classification).  All of that is
+implemented here from scratch on numpy.
+"""
+
+from repro.ml.errors import (
+    absolute_loss,
+    inaccuracy,
+    log_loss_per_row,
+    squared_loss,
+)
+from repro.ml.kmeans import KMeans
+from repro.ml.linreg import LinearRegression
+from repro.ml.logreg import MultinomialLogisticRegression
+from repro.ml.signals import (
+    calibration_gap_signal,
+    false_negative_signal,
+    false_positive_signal,
+    positive_prediction_signal,
+)
+from repro.ml.split import train_test_split
+
+__all__ = [
+    "absolute_loss",
+    "inaccuracy",
+    "log_loss_per_row",
+    "squared_loss",
+    "KMeans",
+    "LinearRegression",
+    "MultinomialLogisticRegression",
+    "calibration_gap_signal",
+    "false_negative_signal",
+    "false_positive_signal",
+    "positive_prediction_signal",
+    "train_test_split",
+]

@@ -1,0 +1,58 @@
+"""Per-row error functions ``e = err(y, y_hat)`` (Section 2.1).
+
+All functions return a non-negative, row-aligned error vector — the ``e``
+input of SliceLine.  The paper's defaults are :func:`squared_loss` for
+regression and :func:`inaccuracy` for classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def _aligned(y: np.ndarray, y_hat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(y, dtype=np.float64).ravel()
+    y_hat = np.asarray(y_hat, dtype=np.float64).ravel()
+    if y.shape != y_hat.shape:
+        raise ShapeError(
+            f"labels and predictions must align, got {y.shape} vs {y_hat.shape}"
+        )
+    return y, y_hat
+
+
+def squared_loss(y: np.ndarray, y_hat: np.ndarray) -> np.ndarray:
+    """Regression: ``e = (y - y_hat)^2``."""
+    y, y_hat = _aligned(y, y_hat)
+    return (y - y_hat) ** 2
+
+
+def absolute_loss(y: np.ndarray, y_hat: np.ndarray) -> np.ndarray:
+    """Regression: ``e = |y - y_hat|``."""
+    y, y_hat = _aligned(y, y_hat)
+    return np.abs(y - y_hat)
+
+
+def inaccuracy(y: np.ndarray, y_hat: np.ndarray) -> np.ndarray:
+    """Classification: ``e = (y != y_hat)`` as 0/1 floats."""
+    y, y_hat = _aligned(y, y_hat)
+    return (y != y_hat).astype(np.float64)
+
+
+def log_loss_per_row(
+    y: np.ndarray, probabilities: np.ndarray, eps: float = 1e-12
+) -> np.ndarray:
+    """Classification: per-row negative log-likelihood of the true class.
+
+    *probabilities* is an ``n x c`` matrix of predicted class probabilities;
+    *y* holds 0-based class indices.
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(y).ravel().astype(np.int64)
+    if probs.ndim != 2 or labels.shape[0] != probs.shape[0]:
+        raise ShapeError("probabilities must be n x c aligned with labels")
+    if labels.min() < 0 or labels.max() >= probs.shape[1]:
+        raise ShapeError("labels out of range of probability columns")
+    picked = probs[np.arange(labels.shape[0]), labels]
+    return -np.log(np.clip(picked, eps, 1.0))

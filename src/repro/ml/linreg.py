@@ -1,0 +1,68 @@
+"""Linear regression (the paper's ``lm``) via ridge-regularized least squares."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+
+
+class LinearRegression:
+    """Ordinary least squares with optional L2 regularization.
+
+    Solves ``min_w ||X w + b - y||^2 + lam ||w||^2`` in closed form via the
+    normal equations (with the intercept unregularized).  The tiny default
+    ridge term keeps the solve well-posed for the collinear one-hot designs
+    this library produces.
+    """
+
+    def __init__(self, l2: float = 1e-8, fit_intercept: bool = True) -> None:
+        if l2 < 0:
+            raise ValidationError("l2 must be non-negative")
+        self.l2 = l2
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegression":
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64).ravel()
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ShapeError("features must be n x d aligned with targets")
+        if self.fit_intercept:
+            x = np.column_stack([x, np.ones(x.shape[0])])
+        gram = x.T @ x
+        if self.l2 > 0:
+            reg = self.l2 * np.eye(gram.shape[0])
+            if self.fit_intercept:
+                reg[-1, -1] = 0.0
+            gram = gram + reg
+        weights = np.linalg.solve(gram, x.T @ y)
+        if self.fit_intercept:
+            self.coef_ = weights[:-1]
+            self.intercept_ = float(weights[-1])
+        else:
+            self.coef_ = weights
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("LinearRegression is not fitted yet")
+        x = np.asarray(features, dtype=np.float64)
+        if x.shape[1] != self.coef_.shape[0]:
+            raise ShapeError(
+                f"features have {x.shape[1]} columns, model expects "
+                f"{self.coef_.shape[0]}"
+            )
+        return x @ self.coef_ + self.intercept_
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        y = np.asarray(targets, dtype=np.float64).ravel()
+        residual = y - self.predict(features)
+        total = y - y.mean()
+        denom = float(total @ total)
+        if denom == 0.0:
+            return 1.0 if float(residual @ residual) == 0.0 else 0.0
+        return 1.0 - float(residual @ residual) / denom

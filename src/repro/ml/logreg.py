@@ -1,0 +1,110 @@
+"""Multinomial logistic regression (the paper's ``mlogit``).
+
+Softmax regression trained with full-batch gradient descent and a simple
+backtracking step size — deliberately dependency-free and deterministic.
+Used to produce the classification error vectors SliceLine debugs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MultinomialLogisticRegression:
+    """Softmax classifier over 0-based integer class labels."""
+
+    def __init__(
+        self,
+        num_iterations: int = 200,
+        learning_rate: float = 1.0,
+        l2: float = 1e-4,
+        tol: float = 1e-7,
+    ) -> None:
+        if num_iterations < 1:
+            raise ValidationError("num_iterations must be >= 1")
+        if learning_rate <= 0:
+            raise ValidationError("learning_rate must be positive")
+        self.num_iterations = num_iterations
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.tol = tol
+        self.weights_: np.ndarray | None = None
+        self.num_classes_: int = 0
+        self.loss_curve_: list[float] = []
+
+    def fit(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> "MultinomialLogisticRegression":
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels).ravel().astype(np.int64)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ShapeError("features must be n x d aligned with labels")
+        if y.min() < 0:
+            raise ValidationError("labels must be 0-based non-negative integers")
+        n, d = x.shape
+        x = np.column_stack([x, np.ones(n)])  # intercept column
+        self.num_classes_ = int(y.max()) + 1
+        onehot = np.zeros((n, self.num_classes_))
+        onehot[np.arange(n), y] = 1.0
+
+        weights = np.zeros((d + 1, self.num_classes_))
+        step = self.learning_rate
+        self.loss_curve_ = []
+        previous_loss = np.inf
+        for _ in range(self.num_iterations):
+            probs = softmax(x @ weights)
+            loss = self._loss(probs, onehot, weights, n)
+            self.loss_curve_.append(loss)
+            gradient = x.T @ (probs - onehot) / n + self.l2 * weights
+            candidate = weights - step * gradient
+            candidate_loss = self._loss(
+                softmax(x @ candidate), onehot, candidate, n
+            )
+            # Backtrack until the step improves the objective.
+            while candidate_loss > loss and step > 1e-8:
+                step *= 0.5
+                candidate = weights - step * gradient
+                candidate_loss = self._loss(
+                    softmax(x @ candidate), onehot, candidate, n
+                )
+            weights = candidate
+            if abs(previous_loss - candidate_loss) < self.tol:
+                break
+            previous_loss = candidate_loss
+        self.weights_ = weights
+        return self
+
+    def _loss(
+        self,
+        probs: np.ndarray,
+        onehot: np.ndarray,
+        weights: np.ndarray,
+        n: int,
+    ) -> float:
+        nll = -np.sum(onehot * np.log(np.clip(probs, 1e-12, 1.0))) / n
+        return float(nll + 0.5 * self.l2 * np.sum(weights**2))
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted yet")
+        x = np.asarray(features, dtype=np.float64)
+        x = np.column_stack([x, np.ones(x.shape[0])])
+        if x.shape[1] != self.weights_.shape[0]:
+            raise ShapeError("feature dimensionality does not match the model")
+        return softmax(x @ self.weights_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        y = np.asarray(labels).ravel().astype(np.int64)
+        return float((self.predict(features) == y).mean())

@@ -1,0 +1,69 @@
+"""Fairness and bias error signals (the paper's future-work direction).
+
+Section 7 of the paper names "slice finding for bias and fairness (instead
+of accuracy)" as future work.  SliceLine only consumes a non-negative
+per-row vector, so the extension is a family of per-row *signals*: feed any
+of these as ``errors`` and the top-K slices become the subgroups where the
+corresponding harm concentrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+
+
+def _binary_aligned(y, y_hat) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(y).ravel().astype(np.int64)
+    y_hat = np.asarray(y_hat).ravel().astype(np.int64)
+    if y.shape != y_hat.shape:
+        raise ShapeError("labels and predictions must align")
+    for name, arr in (("labels", y), ("predictions", y_hat)):
+        if not np.isin(arr, (0, 1)).all():
+            raise ValidationError(f"{name} must be binary (0/1)")
+    return y, y_hat
+
+
+def false_negative_signal(y, y_hat) -> np.ndarray:
+    """1 where a positive instance was predicted negative (missed benefit).
+
+    Slices maximizing this signal are subgroups suffering wrongful denial —
+    the disparate-mistreatment notion of fairness for the positive class.
+    """
+    y, y_hat = _binary_aligned(y, y_hat)
+    return ((y == 1) & (y_hat == 0)).astype(np.float64)
+
+
+def false_positive_signal(y, y_hat) -> np.ndarray:
+    """1 where a negative instance was predicted positive (wrongful harm)."""
+    y, y_hat = _binary_aligned(y, y_hat)
+    return ((y == 0) & (y_hat == 1)).astype(np.float64)
+
+
+def positive_prediction_signal(y_hat) -> np.ndarray:
+    """1 where the model predicts the positive class, regardless of truth.
+
+    With this signal, high-scoring slices are subgroups receiving the
+    positive outcome disproportionately often (demographic-parity auditing);
+    to find *under*-served subgroups, pass ``1 - signal`` instead.
+    """
+    y_hat = np.asarray(y_hat).ravel().astype(np.int64)
+    if not np.isin(y_hat, (0, 1)).all():
+        raise ValidationError("predictions must be binary (0/1)")
+    return (y_hat == 1).astype(np.float64)
+
+
+def calibration_gap_signal(y, probabilities) -> np.ndarray:
+    """Absolute gap between predicted probability and the observed label.
+
+    Slices maximizing this signal are subgroups where the model's
+    confidence is least trustworthy (mis-calibration concentration).
+    """
+    y = np.asarray(y, dtype=np.float64).ravel()
+    probs = np.asarray(probabilities, dtype=np.float64).ravel()
+    if y.shape != probs.shape:
+        raise ShapeError("labels and probabilities must align")
+    if (probs < 0).any() or (probs > 1).any():
+        raise ValidationError("probabilities must lie in [0, 1]")
+    return np.abs(probs - y)

@@ -1,0 +1,43 @@
+"""Deterministic train/test splitting.
+
+The paper applies slice finding to train, validation, or test splits alike
+(the model is always created on the train split); this helper produces the
+splits reproducibly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+
+
+def train_test_split(
+    *arrays: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple:
+    """Split any number of row-aligned arrays into train/test parts.
+
+    Returns ``(a_train, a_test, b_train, b_test, ...)`` in the order the
+    arrays were given, after one shared random permutation.
+    """
+    if not arrays:
+        raise ValidationError("at least one array is required")
+    if not (0.0 < test_fraction < 1.0):
+        raise ValidationError("test_fraction must be in (0, 1)")
+    num_rows = np.asarray(arrays[0]).shape[0]
+    for arr in arrays[1:]:
+        if np.asarray(arr).shape[0] != num_rows:
+            raise ShapeError("all arrays must have the same number of rows")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_rows)
+    cut = num_rows - max(1, int(round(num_rows * test_fraction)))
+    if cut < 1:
+        raise ValidationError("split leaves an empty train part")
+    train_idx, test_idx = order[:cut], order[cut:]
+    out: list[np.ndarray] = []
+    for arr in arrays:
+        arr = np.asarray(arr)
+        out.extend([arr[train_idx], arr[test_idx]])
+    return tuple(out)

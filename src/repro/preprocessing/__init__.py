@@ -1,0 +1,21 @@
+"""Data preparation: recoding, binning, and the dataset pipeline.
+
+The paper pre-processes every dataset by "recoding categorical features,
+binning continuous features (except labels) into 10 equi-width bins, and
+dropping ID columns", producing the 1-based integer-encoded matrix ``X0``
+SliceLine consumes.  This subpackage implements those transforms with full
+metadata (feature names, value labels) and inverse mappings.
+"""
+
+from repro.preprocessing.binning import EquiWidthBinner, QuantileBinner
+from repro.preprocessing.recode import Recoder
+from repro.preprocessing.pipeline import ColumnSpec, Preprocessor, EncodedDataset
+
+__all__ = [
+    "EquiWidthBinner",
+    "QuantileBinner",
+    "Recoder",
+    "ColumnSpec",
+    "Preprocessor",
+    "EncodedDataset",
+]

@@ -1,0 +1,103 @@
+"""Binning of continuous features into 1-based integer codes.
+
+The paper uses 10 equi-width bins per continuous feature; a quantile
+(equi-height) binner is provided as the common alternative for heavily
+skewed features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+class EquiWidthBinner:
+    """Equal-width bins over the observed value range.
+
+    Produces codes ``1..num_bins``.  Degenerate (constant) features map to a
+    single bin.  Values outside the fitted range are clipped into the
+    boundary bins, so transform never fails on unseen data.
+    """
+
+    def __init__(self, num_bins: int = 10) -> None:
+        if num_bins < 1:
+            raise ValidationError("num_bins must be >= 1")
+        self.num_bins = num_bins
+        self.minimum_: float | None = None
+        self.maximum_: float | None = None
+
+    def fit(self, values: np.ndarray) -> "EquiWidthBinner":
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            raise ValidationError("cannot fit a binner on an empty column")
+        if np.isnan(arr).any():
+            raise ValidationError("binner input must not contain NaN")
+        self.minimum_ = float(arr.min())
+        self.maximum_ = float(arr.max())
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.minimum_ is None:
+            raise RuntimeError("binner is not fitted yet")
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        span = self.maximum_ - self.minimum_
+        if span == 0.0:
+            return np.ones(arr.shape[0], dtype=np.int64)
+        scaled = (arr - self.minimum_) / span * self.num_bins
+        codes = np.floor(scaled).astype(np.int64) + 1
+        return np.clip(codes, 1, self.num_bins)
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def bin_labels(self) -> list[str]:
+        """Human-readable ``[lo, hi)`` interval label per bin code."""
+        if self.minimum_ is None:
+            raise RuntimeError("binner is not fitted yet")
+        edges = np.linspace(self.minimum_, self.maximum_, self.num_bins + 1)
+        return [
+            f"[{edges[i]:.4g},{edges[i + 1]:.4g}{']' if i == self.num_bins - 1 else ')'}"
+            for i in range(self.num_bins)
+        ]
+
+
+class QuantileBinner:
+    """Equi-height bins: roughly equal row counts per bin.
+
+    Bin edges are the empirical quantiles; duplicate edges (heavy ties) are
+    collapsed, so fewer than ``num_bins`` distinct codes can result.
+    """
+
+    def __init__(self, num_bins: int = 10) -> None:
+        if num_bins < 1:
+            raise ValidationError("num_bins must be >= 1")
+        self.num_bins = num_bins
+        self.edges_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "QuantileBinner":
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            raise ValidationError("cannot fit a binner on an empty column")
+        if np.isnan(arr).any():
+            raise ValidationError("binner input must not contain NaN")
+        quantiles = np.linspace(0.0, 1.0, self.num_bins + 1)
+        self.edges_ = np.unique(np.quantile(arr, quantiles))
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.edges_ is None:
+            raise RuntimeError("binner is not fitted yet")
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        inner_edges = self.edges_[1:-1]
+        codes = np.searchsorted(inner_edges, arr, side="right") + 1
+        return codes.astype(np.int64)
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    @property
+    def num_effective_bins(self) -> int:
+        if self.edges_ is None:
+            raise RuntimeError("binner is not fitted yet")
+        return max(1, self.edges_.size - 1)

@@ -1,0 +1,79 @@
+"""Recoding of categorical values into 1-based contiguous integer codes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EncodingError, ValidationError
+
+
+class Recoder:
+    """Dictionary-encode arbitrary hashable category values to ``1..d``.
+
+    Codes are assigned in sorted order of the distinct values for
+    determinism.  Unseen categories at transform time either raise (default)
+    or map to a dedicated ``unknown`` code ``d+1``.
+    """
+
+    def __init__(self, handle_unknown: str = "error") -> None:
+        if handle_unknown not in ("error", "code"):
+            raise ValidationError("handle_unknown must be 'error' or 'code'")
+        self.handle_unknown = handle_unknown
+        self.mapping_: dict | None = None
+        self.categories_: list | None = None
+
+    def fit(self, values) -> "Recoder":
+        arr = np.asarray(values).ravel()
+        if arr.size == 0:
+            raise ValidationError("cannot fit a recoder on an empty column")
+        categories = sorted(set(arr.tolist()), key=lambda v: (str(type(v)), v))
+        self.categories_ = categories
+        self.mapping_ = {value: code for code, value in enumerate(categories, start=1)}
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        if self.mapping_ is None:
+            raise RuntimeError("recoder is not fitted yet")
+        arr = np.asarray(values).ravel()
+        unknown_code = len(self.mapping_) + 1
+        codes = np.empty(arr.shape[0], dtype=np.int64)
+        for i, value in enumerate(arr.tolist()):
+            code = self.mapping_.get(value)
+            if code is None:
+                if self.handle_unknown == "error":
+                    raise EncodingError(f"unseen category {value!r}")
+                code = unknown_code
+            codes[i] = code
+        return codes
+
+    def fit_transform(self, values) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse(self, codes: np.ndarray) -> list:
+        """Map integer codes back to the original category values."""
+        if self.categories_ is None:
+            raise RuntimeError("recoder is not fitted yet")
+        out = []
+        for code in np.asarray(codes).ravel().tolist():
+            if 1 <= code <= len(self.categories_):
+                out.append(self.categories_[code - 1])
+            elif code == len(self.categories_) + 1 and self.handle_unknown == "code":
+                out.append("<unknown>")
+            else:
+                raise EncodingError(f"code {code} outside the fitted domain")
+        return out
+
+    @property
+    def domain_size(self) -> int:
+        if self.mapping_ is None:
+            raise RuntimeError("recoder is not fitted yet")
+        return len(self.mapping_) + (1 if self.handle_unknown == "code" else 0)
+
+    def value_labels(self) -> list[str]:
+        """String labels aligned with codes ``1..domain_size``."""
+        if self.categories_ is None:
+            raise RuntimeError("recoder is not fitted yet")
+        labels = [str(c) for c in self.categories_]
+        if self.handle_unknown == "code":
+            labels.append("<unknown>")
+        return labels

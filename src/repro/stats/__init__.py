@@ -1,0 +1,13 @@
+"""Statistical tests used by the SliceFinder baseline (from scratch).
+
+SliceFinder [Chung et al.] accepts a slice when (1) its *effect size*
+(normalized difference between the error distributions inside and outside
+the slice) exceeds a threshold and (2) Welch's t-test rejects equal means.
+Both are implemented here on plain numpy (scipy only supplies the Student-t
+CDF special function).
+"""
+
+from repro.stats.welch import WelchResult, welch_t_test
+from repro.stats.effect_size import cohens_d, effect_size
+
+__all__ = ["WelchResult", "welch_t_test", "cohens_d", "effect_size"]

@@ -1,0 +1,48 @@
+"""Effect-size measures for comparing slice error distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def cohens_d(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Cohen's d with a pooled standard deviation.
+
+    ``d = (mean(a) - mean(b)) / s_pooled``; returns 0.0 when both samples
+    are constant and equal, ``inf`` when they are constant but different.
+    """
+    a = np.asarray(sample_a, dtype=np.float64).ravel()
+    b = np.asarray(sample_b, dtype=np.float64).ravel()
+    if a.size < 2 or b.size < 2:
+        raise ValidationError("cohens_d requires >= 2 observations per sample")
+    var_a = a.var(ddof=1)
+    var_b = b.var(ddof=1)
+    pooled_var = ((a.size - 1) * var_a + (b.size - 1) * var_b) / (a.size + b.size - 2)
+    diff = a.mean() - b.mean()
+    if pooled_var == 0.0:
+        if diff == 0.0:
+            return 0.0
+        return float(np.inf) if diff > 0 else float(-np.inf)
+    return float(diff / np.sqrt(pooled_var))
+
+
+def effect_size(slice_errors: np.ndarray, rest_errors: np.ndarray) -> float:
+    """SliceFinder's effect size: the psi-style normalized mean difference.
+
+    SliceFinder measures how much worse the error distribution of ``S`` is
+    than that of ``NOT S``; we follow the common formulation
+    ``(mean(S) - mean(NOT S)) / sqrt((var(S) + var(NOT S)) / 2)``.
+    """
+    a = np.asarray(slice_errors, dtype=np.float64).ravel()
+    b = np.asarray(rest_errors, dtype=np.float64).ravel()
+    if a.size < 2 or b.size < 2:
+        raise ValidationError("effect_size requires >= 2 observations per sample")
+    denom = np.sqrt((a.var(ddof=1) + b.var(ddof=1)) / 2.0)
+    diff = a.mean() - b.mean()
+    if denom == 0.0:
+        if diff == 0.0:
+            return 0.0
+        return float(np.inf) if diff > 0 else float(-np.inf)
+    return float(diff / denom)

@@ -1,0 +1,54 @@
+"""Welch's unequal-variances t-test, implemented from first principles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import stdtr
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class WelchResult:
+    """Outcome of a one-sided Welch t-test (alternative: mean(a) > mean(b))."""
+
+    statistic: float
+    degrees_of_freedom: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def welch_t_test(sample_a: np.ndarray, sample_b: np.ndarray) -> WelchResult:
+    """One-sided Welch t-test for ``mean(a) > mean(b)``.
+
+    Uses the Welch-Satterthwaite degrees-of-freedom approximation.  Each
+    sample needs at least two observations; when both samples have zero
+    variance the test degenerates (statistic ``0`` or ``+/-inf`` depending
+    on the mean difference).
+    """
+    a = np.asarray(sample_a, dtype=np.float64).ravel()
+    b = np.asarray(sample_b, dtype=np.float64).ravel()
+    if a.size < 2 or b.size < 2:
+        raise ValidationError("welch_t_test requires >= 2 observations per sample")
+
+    mean_a, mean_b = a.mean(), b.mean()
+    var_a = a.var(ddof=1)
+    var_b = b.var(ddof=1)
+    pooled = var_a / a.size + var_b / b.size
+
+    if pooled == 0.0:
+        if mean_a > mean_b:
+            return WelchResult(np.inf, float(a.size + b.size - 2), 0.0)
+        return WelchResult(0.0 if mean_a == mean_b else -np.inf, float(a.size + b.size - 2), 1.0)
+
+    statistic = (mean_a - mean_b) / np.sqrt(pooled)
+    df_num = pooled**2
+    df_den = (var_a / a.size) ** 2 / (a.size - 1) + (var_b / b.size) ** 2 / (b.size - 1)
+    dof = df_num / df_den if df_den > 0 else float(a.size + b.size - 2)
+    # One-sided p-value: P(T >= statistic) under Student-t with `dof`.
+    p_value = float(1.0 - stdtr(dof, statistic))
+    return WelchResult(float(statistic), float(dof), p_value)

@@ -1,0 +1,76 @@
+"""Shared fixtures: small, deterministic datasets with known ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureSpace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_x0():
+    """A hand-written 8x3 matrix with domains (2, 3, 2)."""
+    return np.array(
+        [
+            [1, 1, 1],
+            [1, 2, 1],
+            [1, 3, 2],
+            [2, 1, 2],
+            [2, 2, 1],
+            [2, 3, 2],
+            [1, 1, 2],
+            [2, 1, 1],
+        ],
+        dtype=np.int64,
+    )
+
+
+@pytest.fixture
+def tiny_errors():
+    """Errors concentrated on rows where F1=1 and F2=1."""
+    return np.array([1.0, 0.0, 0.0, 0.0, 0.1, 0.0, 1.0, 0.2])
+
+
+@pytest.fixture
+def tiny_space(tiny_x0):
+    return FeatureSpace.from_matrix(tiny_x0)
+
+
+@pytest.fixture
+def planted_dataset(rng):
+    """500x5 random data with a strongly problematic planted slice.
+
+    The slice ``F1=1 AND F2=2`` has every row erroneous; the background
+    error rate is 10%.  Returns (x0, errors, planted_predicates).
+    """
+    x0 = np.column_stack(
+        [rng.integers(1, d + 1, size=500) for d in (3, 3, 4, 2, 3)]
+    ).astype(np.int64)
+    errors = (rng.random(500) < 0.1).astype(np.float64)
+    mask = (x0[:, 0] == 1) & (x0[:, 1] == 2)
+    errors[mask] = 1.0
+    return x0, errors, {0: 1, 1: 2}
+
+
+def random_small_problem(seed: int):
+    """A random small slice-finding problem for oracle comparisons."""
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(40, 160))
+    m = int(gen.integers(2, 5))
+    domains = gen.integers(2, 5, size=m)
+    x0 = np.column_stack(
+        [gen.integers(1, d + 1, size=n) for d in domains]
+    ).astype(np.int64)
+    errors = gen.random(n) * (gen.random(n) < 0.5)
+    if errors.sum() == 0:
+        errors[0] = 1.0
+    k = int(gen.integers(1, 6))
+    sigma = int(gen.integers(1, 10))
+    alpha = float(gen.uniform(0.3, 1.0))
+    return x0, errors, k, sigma, alpha

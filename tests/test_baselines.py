@@ -1,0 +1,152 @@
+"""Tests for the baseline slice finders (oracle, SliceFinder, tree, clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ClusteringSlicer,
+    DecisionTreeSlicer,
+    SliceFinderBaseline,
+    enumerate_all_slices,
+    naive_top_k,
+)
+
+
+class TestNaiveOracle:
+    def test_enumerates_full_lattice(self, tiny_x0, tiny_errors):
+        slices = list(enumerate_all_slices(tiny_x0, tiny_errors, alpha=0.9))
+        # levels 1..3 over domains (2,3,2): 7 + (6+4+6) + 12 non-empty max
+        levels = {s.level for s in slices}
+        assert levels == {1, 2, 3}
+        # every basic slice with support shows up
+        level1 = [s for s in slices if s.level == 1]
+        assert len(level1) == 7
+
+    def test_max_level_caps(self, tiny_x0, tiny_errors):
+        slices = list(enumerate_all_slices(tiny_x0, tiny_errors, 0.9, max_level=1))
+        assert all(s.level == 1 for s in slices)
+
+    def test_top_k_constraints(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        top = naive_top_k(x0, errors, k=5, sigma=10, alpha=0.95)
+        assert len(top) <= 5
+        for s in top:
+            assert s.size >= 10 and s.score > 0
+        scores = [s.score for s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_finds_planted(self, planted_dataset):
+        x0, errors, predicates = planted_dataset
+        top = naive_top_k(x0, errors, k=1, sigma=10, alpha=0.95)
+        assert dict(top[0].predicates) == predicates
+
+
+class TestSliceFinderBaseline:
+    def test_finds_planted_slice(self, planted_dataset):
+        x0, errors, predicates = planted_dataset
+        finder = SliceFinderBaseline(k=4, max_level=3)
+        found = finder.find(x0, errors)
+        assert found, "baseline found nothing"
+        keys = [frozenset(c.predicates.items()) for c in found]
+        target = frozenset(predicates.items())
+        # accepts the planted slice or a coarser ancestor of it
+        assert any(key <= target for key in keys)
+
+    def test_accepted_slices_are_significant(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        finder = SliceFinderBaseline(k=6, max_level=2)
+        for cand in finder.find(x0, errors):
+            assert cand.p_value < finder.significance_level
+            assert cand.effect_size >= finder.effect_size_threshold
+
+    def test_dominance_prevents_redundant_children(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        finder = SliceFinderBaseline(k=10, max_level=3)
+        found = finder.find(x0, errors)
+        keys = [frozenset(c.predicates.items()) for c in found]
+        for i, a in enumerate(keys):
+            for b in keys[i + 1 :]:
+                assert not (a < b), "accepted a dominated finer slice"
+
+    def test_level_wise_termination_counts_levels(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        finder = SliceFinderBaseline(k=1, max_level=3)
+        finder.find(x0, errors)
+        # k=1 found on an early level: the search stops before level 3
+        assert len(finder.evaluated_per_level) <= 3
+
+    def test_invalid_k(self, tiny_x0, tiny_errors):
+        from repro.exceptions import ValidationError
+        with pytest.raises(ValidationError):
+            SliceFinderBaseline(k=0).find(tiny_x0, tiny_errors)
+
+
+class TestDecisionTreeSlicer:
+    def test_leaves_partition_rows(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        slicer = DecisionTreeSlicer(max_depth=3, min_leaf_size=20)
+        slicer.find(x0, errors)
+        leaves = slicer.root_.leaves()
+        assert sum(leaf.size for leaf in leaves) == x0.shape[0]
+
+    def test_slices_are_disjoint(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        slicer = DecisionTreeSlicer(max_depth=3, min_leaf_size=20, k=5)
+        found = slicer.find(x0, errors)
+        masks = []
+        for leaf in found:
+            mask = np.ones(x0.shape[0], dtype=bool)
+            for f, v in leaf.predicates.items():
+                mask &= x0[:, f] == v
+            # tree paths include negative branches, so the predicate mask
+            # over-approximates; leaves themselves are disjoint by size
+            masks.append(leaf.size)
+        assert sum(masks) <= x0.shape[0]
+
+    def test_returns_elevated_leaves_only(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        overall = errors.mean()
+        found = DecisionTreeSlicer(max_depth=3, min_leaf_size=20).find(x0, errors)
+        for leaf in found:
+            assert leaf.average_error > overall
+
+    def test_homogeneous_errors_yield_nothing(self, tiny_x0):
+        found = DecisionTreeSlicer(min_leaf_size=1, max_depth=2).find(
+            tiny_x0, np.ones(8)
+        )
+        assert found == []
+
+    def test_respects_min_leaf_size(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        slicer = DecisionTreeSlicer(max_depth=4, min_leaf_size=50)
+        slicer.find(x0, errors)
+        for leaf in slicer.root_.leaves():
+            assert leaf.size >= 50 or leaf.predicates == {}
+
+
+class TestClusteringSlicer:
+    def test_finds_high_error_description(self, rng):
+        # two well-separated populations, one with high error
+        n = 400
+        x0 = np.column_stack([
+            np.concatenate([np.ones(n // 2), np.full(n // 2, 2)]),
+            rng.integers(1, 3, size=n),
+        ]).astype(np.int64)
+        errors = np.concatenate([np.full(n // 2, 1.0), np.zeros(n // 2)])
+        slicer = ClusteringSlicer(num_clusters=4, k=2, purity_threshold=0.7)
+        found = slicer.find(x0, errors)
+        assert found
+        # the worst cluster description should pin feature 0 to value 1
+        assert any(c.predicates.get(0) == 1 for c in found)
+
+    def test_no_elevated_clusters_returns_empty(self, rng):
+        x0 = np.column_stack([rng.integers(1, 3, size=100) for _ in range(2)])
+        found = ClusteringSlicer(num_clusters=2).find(x0, np.full(100, 0.5))
+        assert found == []
+
+    def test_purity_reported(self, rng):
+        x0 = np.column_stack([rng.integers(1, 3, size=200) for _ in range(2)])
+        errors = (x0[:, 0] == 1).astype(float)
+        found = ClusteringSlicer(num_clusters=4, k=3).find(x0, errors)
+        for c in found:
+            assert 0.0 <= c.description_purity <= 1.0

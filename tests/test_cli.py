@@ -1,0 +1,110 @@
+"""Tests for the CSV command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_specs, is_numeric_column, main, read_csv_table
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def csv_file(tmp_path, rng):
+    """A CSV with a planted problematic slice (city=b AND plan=basic)."""
+    n = 800
+    city = rng.choice(["a", "b", "c"], size=n)
+    plan = rng.choice(["basic", "pro"], size=n)
+    age = rng.uniform(18, 80, size=n)
+    err = (rng.random(n) < 0.05).astype(float)
+    err[(city == "b") & (plan == "basic")] = 1.0
+    path = tmp_path / "data.csv"
+    with open(path, "w") as handle:
+        handle.write("row_id,city,plan,age,err\n")
+        for i in range(n):
+            handle.write(f"{i},{city[i]},{plan[i]},{age[i]:.2f},{err[i]}\n")
+    return str(path)
+
+
+class TestCsvReading:
+    def test_reads_columns(self, csv_file):
+        table = read_csv_table(csv_file)
+        assert set(table) == {"row_id", "city", "plan", "age", "err"}
+        assert table["city"].shape[0] == 800
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            read_csv_table(str(path))
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValidationError):
+            read_csv_table(str(path))
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValidationError):
+            read_csv_table(str(path))
+
+
+class TestSpecInference:
+    def test_is_numeric(self):
+        assert is_numeric_column(np.array(["1.5", "2"]))
+        assert not is_numeric_column(np.array(["1.5", "x"]))
+
+    def test_kinds_inferred(self, csv_file):
+        table = read_csv_table(csv_file)
+        specs = {
+            s.name: s.kind
+            for s in build_specs(table, "err", ["row_id"], [], [], 10)
+        }
+        assert specs["row_id"] == "drop"
+        assert specs["city"] == "categorical"
+        assert specs["age"] == "numeric"
+        assert "err" not in specs
+
+    def test_overrides_win(self, csv_file):
+        table = read_csv_table(csv_file)
+        specs = {
+            s.name: s.kind
+            for s in build_specs(table, "err", [], [], ["age"], 10)
+        }
+        assert specs["age"] == "categorical"
+
+    def test_unknown_column_rejected(self, csv_file):
+        table = read_csv_table(csv_file)
+        with pytest.raises(ValidationError):
+            build_specs(table, "err", ["nope"], [], [], 10)
+
+
+class TestMain:
+    def test_end_to_end_finds_planted_slice(self, csv_file, capsys):
+        rc = main([
+            csv_file, "--error-column", "err", "--drop", "row_id",
+            "--k", "3", "--sigma", "20",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "#1" in out
+        assert "city=b" in out and "plan=basic" in out
+
+    def test_missing_error_column(self, csv_file, capsys):
+        rc = main([csv_file, "--error-column", "nope"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        rc = main(["/does/not/exist.csv", "--error-column", "e"])
+        assert rc == 2
+
+    def test_no_problematic_slices(self, tmp_path, capsys):
+        path = tmp_path / "flat.csv"
+        with open(path, "w") as handle:
+            handle.write("f,err\n")
+            for i in range(200):
+                handle.write(f"{'ab'[i % 2]},1.0\n")
+        rc = main([str(path), "--error-column", "err", "--sigma", "10"])
+        assert rc == 0
+        assert "no slice scores above 0" in capsys.readouterr().out

@@ -1,0 +1,121 @@
+"""Tests for the parallel executors and the cluster cost model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import FeatureSpace, evaluate_slices
+from repro.distributed import (
+    ClusterCostModel,
+    ClusterSpec,
+    DistributedPForExecutor,
+    MTOpsExecutor,
+    MTPForExecutor,
+    SerialExecutor,
+    make_executor,
+    partition_work,
+)
+from repro.distributed.simulate import WorkProfile
+from repro.exceptions import ExecutionError, ValidationError
+
+
+@pytest.fixture
+def eval_problem(planted_dataset):
+    x0, errors, _ = planted_dataset
+    space = FeatureSpace.from_matrix(x0)
+    x = space.encode(x0)
+    gen = np.random.default_rng(9)
+    rows = []
+    for _ in range(40):
+        pick = gen.choice(space.num_onehot, size=2, replace=False)
+        row = np.zeros(space.num_onehot)
+        row[pick] = 1
+        rows.append(row)
+    slices = sp.csr_matrix(np.array(rows))
+    reference = evaluate_slices(x, errors, slices, 2, 0.95)
+    return x, errors, slices, reference
+
+
+class TestPartitionWork:
+    def test_covers_all_items(self):
+        ranges = partition_work(17, 4)
+        items = [i for r in ranges for i in r]
+        assert items == list(range(17))
+
+    def test_balanced(self):
+        sizes = [len(r) for r in partition_work(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_ranges_dropped(self):
+        assert len(partition_work(2, 8)) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            partition_work(5, 0)
+        with pytest.raises(ValidationError):
+            partition_work(-1, 2)
+
+
+class TestExecutorsAgree:
+    """All strategies must produce identical statistics (they differ only
+    in scheduling)."""
+
+    @pytest.mark.parametrize("strategy,kwargs", [
+        ("serial", {"block_size": 8}),
+        ("mt-ops", {"num_threads": 3}),
+        ("mt-pfor", {"num_threads": 3, "block_size": 8}),
+        ("dist-pfor", {"num_nodes": 3, "executors_per_node": 2}),
+    ])
+    def test_matches_reference(self, eval_problem, strategy, kwargs):
+        x, errors, slices, reference = eval_problem
+        executor = make_executor(strategy, **kwargs)
+        out = executor.evaluate(x, errors, slices, 2, 0.95)
+        np.testing.assert_allclose(out, reference, rtol=1e-12)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ExecutionError):
+            make_executor("spark")
+
+    def test_factory_types(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("mt-ops"), MTOpsExecutor)
+        assert isinstance(make_executor("mt-pfor"), MTPForExecutor)
+        assert isinstance(make_executor("dist-pfor"), DistributedPForExecutor)
+
+
+class TestClusterCostModel:
+    @pytest.fixture
+    def work(self):
+        return WorkProfile(
+            serial_compute_seconds=100.0,
+            slice_matrix_mb=2.0,
+            stats_mb=1.0,
+            num_jobs=3,
+        )
+
+    def test_figure7b_ordering(self, work):
+        """MT-PFor beats MT-Ops; Dist-PFor beats MT-PFor (paper's shape)."""
+        model = ClusterCostModel()
+        times = model.compare(work, num_threads=32)
+        assert times["mt-pfor"] < times["mt-ops"]
+        assert times["dist-pfor"] < times["mt-pfor"]
+
+    def test_mt_pfor_speedup_factor(self, work):
+        # the paper reports ~2x for MT-PFor over MT-Ops
+        times = ClusterCostModel().compare(work, num_threads=32)
+        ratio = times["mt-ops"] / times["mt-pfor"]
+        assert 1.3 < ratio < 3.5
+
+    def test_dist_overhead_dominates_tiny_work(self):
+        tiny = WorkProfile(serial_compute_seconds=0.5)
+        times = ClusterCostModel().compare(tiny, num_threads=32)
+        # for tiny inputs the cluster overheads make Dist-PFor slower
+        assert times["dist-pfor"] > times["mt-pfor"]
+
+    def test_more_threads_never_slower(self, work):
+        model = ClusterCostModel()
+        assert model.mt_pfor_seconds(work, 64) <= model.mt_pfor_seconds(work, 8)
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValidationError):
+            ClusterSpec(num_nodes=0)

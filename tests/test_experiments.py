@@ -1,0 +1,101 @@
+"""Tests for the experiment harness, workloads, and recorders."""
+
+import numpy as np
+
+from repro.core import SliceLineConfig
+from repro.datasets import load_dataset
+from repro.experiments import (
+    bench_config,
+    bench_sigma,
+    format_table,
+    records_to_csv,
+    run_pruning_ablation,
+    run_sliceline,
+)
+from repro.experiments.workloads import ALPHA_SWEEP_VALUES, BENCH_LEVEL_CAPS
+
+
+class TestWorkloads:
+    def test_bench_sigma(self):
+        assert bench_sigma(1000) == 10
+        assert bench_sigma(101) == 2
+        assert bench_sigma(1) == 1
+
+    def test_bench_config_defaults(self):
+        cfg = bench_config("adult", 32_561)
+        assert cfg.alpha == 0.95
+        assert cfg.sigma == 326
+        assert cfg.max_level == 3
+
+    def test_bench_config_overrides(self):
+        cfg = bench_config("adult", 1000, alpha=0.5, max_level=2)
+        assert cfg.alpha == 0.5 and cfg.max_level == 2
+
+    def test_alpha_sweep_matches_paper(self):
+        assert ALPHA_SWEEP_VALUES == (0.36, 0.68, 0.84, 0.92, 0.96, 0.98, 0.99)
+
+    def test_all_datasets_have_caps(self):
+        from repro.datasets.registry import DATASET_NAMES
+        assert set(BENCH_LEVEL_CAPS) == set(DATASET_NAMES)
+
+
+class TestHarness:
+    def test_run_sliceline_report(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        result, report = run_sliceline(
+            x0, errors, SliceLineConfig(k=4, sigma=10), dataset="unit"
+        )
+        assert report.dataset == "unit"
+        assert report.levels[0] == 1
+        assert report.total_evaluated == result.total_evaluated
+        assert len(report.top_scores) == len(result.top_slices)
+
+    def test_report_rows(self, planted_dataset):
+        x0, errors, _ = planted_dataset
+        _, report = run_sliceline(x0, errors, SliceLineConfig(k=4, sigma=10))
+        rows = report.rows()
+        assert rows[0]["level"] == 1
+        assert {"evaluated", "valid", "seconds"} <= set(rows[0])
+
+    def test_pruning_ablation_ordering(self):
+        """More pruning must never evaluate more slices — the Figure 3 shape.
+
+        The lattice depth is capped at 3: the unpruned arm is exponential
+        (the paper's own unpruned configuration ran out of memory after
+        4 levels on this dataset).
+        """
+        bundle = load_dataset("salaries2x2", scale=0.5, seed=0)
+        base = bench_config("salaries2x2", bundle.num_rows, k=4, max_level=3)
+        reports = run_pruning_ablation(bundle.x0, bundle.errors, base)
+        totals = {label: r.total_evaluated for label, r in reports.items()}
+        assert totals["all"] <= totals["no-parents"]
+        assert totals["no-parents"] <= totals["no-parents-no-score"]
+        assert totals["no-parents-no-score"] <= totals["no-parents-no-score-no-size"]
+        assert totals["no-parents-no-score-no-size"] <= totals["none"]
+
+    def test_ablation_arms_agree_on_topk(self):
+        bundle = load_dataset("salaries2x2", scale=0.3, seed=1)
+        base = bench_config("salaries2x2", bundle.num_rows, k=3, max_level=3)
+        reports = run_pruning_ablation(bundle.x0, bundle.errors, base)
+        score_lists = [
+            tuple(round(s, 9) for s in r.top_scores) for r in reports.values()
+        ]
+        assert len(set(score_lists)) == 1, "pruning changed the result set"
+
+
+class TestRecorder:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty(self):
+        assert "<no rows>" in format_table([], title="empty")
+
+    def test_csv(self):
+        rows = [{"a": 1, "b": 2}]
+        assert records_to_csv(rows) == "a,b\n1,2"
+        assert records_to_csv([]) == ""

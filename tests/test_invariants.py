@@ -1,0 +1,120 @@
+"""Property-based tests of the paper's Section 3 monotonicity invariants.
+
+These are the facts the pruning correctness rests on: slice sizes and
+total errors decrease monotonically along every downward lattice path,
+child statistics are bounded by parent minima, and the top-K threshold
+only ever rises during a run.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.naive import enumerate_all_slices
+from repro.core import SliceLineConfig, slice_line
+from repro.core.scoring import score_upper_bound
+
+
+def _random_problem(seed: int, max_m: int = 4):
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(40, 120))
+    m = int(gen.integers(2, max_m + 1))
+    x0 = np.column_stack(
+        [gen.integers(1, int(gen.integers(2, 4)) + 1, size=n) for _ in range(m)]
+    ).astype(np.int64)
+    errors = gen.random(n) * (gen.random(n) < 0.6)
+    if errors.sum() == 0:
+        errors[0] = 1.0
+    return x0, errors
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_child_statistics_bounded_by_parent_minima(seed):
+    """|S| <= min parent size; se <= min parent se; sm <= min parent sm."""
+    x0, errors = _random_problem(seed)
+    by_key = {
+        frozenset(s.predicates.items()): s
+        for s in enumerate_all_slices(x0, errors, alpha=0.9)
+    }
+    for key, child in by_key.items():
+        if len(key) < 2:
+            continue
+        for item in key:
+            parent = by_key.get(key - {item})
+            if parent is None:
+                continue
+            assert child.size <= parent.size
+            assert child.error <= parent.error + 1e-12
+            assert child.max_error <= parent.max_error + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_upper_bound_dominates_every_descendant(seed):
+    """ceil(sc) from a slice's stats bounds the score of all its subsets
+    meeting the support constraint — the score-pruning safety argument."""
+    x0, errors = _random_problem(seed)
+    n = x0.shape[0]
+    total = float(errors.sum())
+    sigma = 3
+    by_key = {
+        frozenset(s.predicates.items()): s
+        for s in enumerate_all_slices(x0, errors, alpha=0.9)
+    }
+    for key, ancestor in by_key.items():
+        if len(key) != 1:
+            continue
+        bound = score_upper_bound(
+            np.array([float(ancestor.size)]),
+            np.array([ancestor.error]),
+            np.array([ancestor.max_error]),
+            n, total, sigma, 0.9,
+        )[0]
+        for other_key, descendant in by_key.items():
+            if key < other_key and descendant.size >= sigma:
+                assert bound >= descendant.score - 1e-9
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_level_stats_skip_and_prune_counters_consistent(seed):
+    """Counters never go negative and evaluated+skipped <= deduplicated."""
+    x0, errors = _random_problem(seed, max_m=5)
+    res = slice_line(
+        x0, errors, SliceLineConfig(k=3, sigma=4, priority_chunk=4)
+    )
+    for ls in res.level_stats[1:]:
+        assert ls.pruned_by_size >= 0
+        assert ls.pruned_by_score >= 0
+        assert ls.pruned_by_parents >= 0
+        assert ls.skipped_by_priority >= 0
+        if ls.deduplicated:
+            assert ls.evaluated + ls.skipped_by_priority <= ls.deduplicated
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_scores_of_topk_respect_definition(seed):
+    """Every returned slice satisfies Definition 2's constraints."""
+    x0, errors = _random_problem(seed, max_m=5)
+    sigma = 5
+    res = slice_line(x0, errors, SliceLineConfig(k=4, sigma=sigma))
+    for s in res.top_slices:
+        assert s.size >= sigma
+        assert s.score > 0
+        # statistics are internally consistent
+        assert 0 <= s.error <= s.size * s.max_error + 1e-9
+        assert s.max_error >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000), k_small=st.integers(1, 3))
+def test_topk_nesting(seed, k_small):
+    """The top-k result is a prefix of the top-(k+j) result."""
+    x0, errors = _random_problem(seed)
+    cfg_small = SliceLineConfig(k=k_small, sigma=3)
+    cfg_big = SliceLineConfig(k=k_small + 3, sigma=3)
+    small = slice_line(x0, errors, cfg_small).top_slices
+    big = slice_line(x0, errors, cfg_big).top_slices
+    assert [s.predicates for s in small] == [
+        s.predicates for s in big[: len(small)]
+    ]

@@ -1,0 +1,183 @@
+"""Unit tests for the DML-style linear-algebra primitives."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.linalg import (
+    col_maxs,
+    col_mins,
+    col_sums,
+    contingency_table,
+    cumprod,
+    cumsum,
+    iter_upper_tri_pair_chunks,
+    one_hot_encode,
+    remove_empty_rows,
+    row_index_max,
+    row_maxs,
+    row_sums,
+    selection_matrix,
+    upper_tri_pairs,
+)
+
+
+@pytest.fixture
+def dense():
+    return np.array([[1.0, 0.0, 3.0], [0.0, 2.0, 1.0], [4.0, 0.0, 0.0]])
+
+
+@pytest.fixture
+def sparse(dense):
+    return sp.csr_matrix(dense)
+
+
+class TestReductions:
+    def test_col_sums_dense_and_sparse_agree(self, dense, sparse):
+        np.testing.assert_allclose(col_sums(dense), col_sums(sparse))
+        np.testing.assert_allclose(col_sums(dense), [5.0, 2.0, 4.0])
+
+    def test_row_sums_dense_and_sparse_agree(self, dense, sparse):
+        np.testing.assert_allclose(row_sums(dense), row_sums(sparse))
+        np.testing.assert_allclose(row_sums(dense), [4.0, 3.0, 4.0])
+
+    def test_col_maxs_includes_implicit_zeros(self):
+        m = sp.csr_matrix(np.array([[-1.0, 0.0], [-2.0, -3.0]]))
+        # column 1 has an implicit zero in row 0: max must be 0, not -3
+        np.testing.assert_allclose(col_maxs(m), [-1.0, 0.0])
+
+    def test_col_mins_includes_implicit_zeros(self):
+        m = sp.csr_matrix(np.array([[5.0, 0.0], [2.0, 3.0]]))
+        np.testing.assert_allclose(col_mins(m), [2.0, 0.0])
+
+    def test_row_maxs(self, dense, sparse):
+        np.testing.assert_allclose(row_maxs(dense), row_maxs(sparse))
+
+    def test_row_index_max_dense_sparse(self, dense, sparse):
+        np.testing.assert_array_equal(row_index_max(dense), row_index_max(sparse))
+        np.testing.assert_array_equal(row_index_max(dense), [2, 1, 0])
+
+    def test_row_index_max_all_zero_row(self):
+        m = sp.csr_matrix((2, 3))
+        np.testing.assert_array_equal(row_index_max(m), [0, 0])
+
+    def test_col_maxs_empty_raises(self):
+        with pytest.raises(ValidationError):
+            col_maxs(np.zeros((0, 3)))
+
+    def test_row_maxs_no_columns_raises(self):
+        with pytest.raises(ValidationError):
+            row_maxs(np.zeros((3, 0)))
+
+
+class TestCumulative:
+    def test_cumsum(self):
+        np.testing.assert_array_equal(cumsum([1, 2, 3]), [1, 3, 6])
+
+    def test_cumprod_small(self):
+        np.testing.assert_array_equal(cumprod([2, 3, 4]), [2, 6, 24])
+
+    def test_cumprod_huge_domains_exact(self):
+        # 40 features of domain 1000 would overflow int64 (1000^40); the
+        # object-dtype path keeps the IDs exact.
+        domains = np.full(40, 1000, dtype=np.int64)
+        result = cumprod(domains)
+        assert result[-1] == 1000**40
+
+
+class TestTables:
+    def test_contingency_counts_duplicates(self):
+        table = contingency_table([0, 0, 1], [1, 1, 0], 2, 2)
+        np.testing.assert_allclose(table.toarray(), [[0, 2], [1, 0]])
+
+    def test_contingency_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            contingency_table([0, 1], [0], 2, 2)
+
+    def test_one_hot_encode_basic(self):
+        x0 = np.array([[1, 2], [2, 1]])
+        offsets = np.array([0, 2])  # domains (2, 2)
+        x = one_hot_encode(x0, offsets, 4)
+        np.testing.assert_allclose(
+            x.toarray(), [[1, 0, 0, 1], [0, 1, 1, 0]]
+        )
+
+    def test_one_hot_encode_missing_code_zero(self):
+        x0 = np.array([[0, 2]])
+        x = one_hot_encode(x0, np.array([0, 2]), 4)
+        np.testing.assert_allclose(x.toarray(), [[0, 0, 0, 1]])
+
+    def test_one_hot_encode_out_of_range(self):
+        with pytest.raises(ValidationError):
+            one_hot_encode(np.array([[3]]), np.array([0]), 2)
+
+    def test_selection_matrix_selects_rows(self, dense):
+        p = selection_matrix([2, 0], 3)
+        np.testing.assert_allclose((p @ dense), dense[[2, 0]])
+
+    def test_selection_matrix_out_of_range(self):
+        with pytest.raises(ValidationError):
+            selection_matrix([3], 3)
+
+
+class TestRemoveEmpty:
+    def test_removes_zero_rows(self):
+        m = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 0.0]])
+        out, kept = remove_empty_rows(m)
+        np.testing.assert_array_equal(kept, [1])
+        np.testing.assert_allclose(out, [[1.0, 0.0]])
+
+    def test_select_vector(self):
+        m = sp.csr_matrix(np.eye(3))
+        out, kept = remove_empty_rows(m, select=np.array([1, 0, 1]))
+        np.testing.assert_array_equal(kept, [0, 2])
+        assert out.shape == (2, 3)
+
+
+class TestUpperTriPairs:
+    def test_zero_overlap_handles_implicit_zeros(self):
+        # identity rows: every distinct pair has dot product 0
+        s = sp.identity(4, format="csr")
+        i, j = upper_tri_pairs(s, 0.0)
+        assert len(i) == 6
+        assert all(a < b for a, b in zip(i, j))
+
+    def test_exact_overlap_match(self):
+        s = sp.csr_matrix(
+            np.array([[1, 1, 0, 0], [1, 0, 1, 0], [0, 0, 1, 1]], dtype=float)
+        )
+        i, j = upper_tri_pairs(s, 1.0)
+        pairs = set(zip(i.tolist(), j.tolist()))
+        assert pairs == {(0, 1), (1, 2)}
+
+    def test_single_row_no_pairs(self):
+        s = sp.csr_matrix(np.array([[1.0, 0.0]]))
+        i, j = upper_tri_pairs(s, 0.0)
+        assert i.size == 0 and j.size == 0
+
+    def test_iterator_matches_materialized(self):
+        gen = np.random.default_rng(3)
+        s = sp.csr_matrix((gen.random((30, 12)) < 0.3).astype(float))
+        collected = [
+            (a, b)
+            for rows, cols in iter_upper_tri_pair_chunks(s, 1.0)
+            for a, b in zip(rows.tolist(), cols.tolist())
+        ]
+        i, j = upper_tri_pairs(s, 1.0)
+        assert collected == list(zip(i.tolist(), j.tolist()))
+
+    def test_matches_brute_force(self):
+        gen = np.random.default_rng(11)
+        dense = (gen.random((25, 10)) < 0.4).astype(float)
+        s = sp.csr_matrix(dense)
+        for overlap in (0.0, 1.0, 2.0):
+            i, j = upper_tri_pairs(s, overlap)
+            got = set(zip(i.tolist(), j.tolist()))
+            expected = {
+                (a, b)
+                for a in range(25)
+                for b in range(a + 1, 25)
+                if dense[a] @ dense[b] == overlap
+            }
+            assert got == expected

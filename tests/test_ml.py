@@ -1,0 +1,177 @@
+"""Tests for the ML substrate: models, error functions, splitting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.ml import (
+    KMeans,
+    LinearRegression,
+    MultinomialLogisticRegression,
+    absolute_loss,
+    inaccuracy,
+    log_loss_per_row,
+    squared_loss,
+    train_test_split,
+)
+
+
+class TestErrorFunctions:
+    def test_squared_loss(self):
+        np.testing.assert_allclose(
+            squared_loss([1.0, 2.0], [0.0, 4.0]), [1.0, 4.0]
+        )
+
+    def test_absolute_loss(self):
+        np.testing.assert_allclose(
+            absolute_loss([1.0, -2.0], [0.0, 1.0]), [1.0, 3.0]
+        )
+
+    def test_inaccuracy(self):
+        np.testing.assert_allclose(inaccuracy([1, 2, 3], [1, 0, 3]), [0, 1, 0])
+
+    def test_all_errors_non_negative(self):
+        gen = np.random.default_rng(0)
+        y, yh = gen.normal(size=50), gen.normal(size=50)
+        for fn in (squared_loss, absolute_loss):
+            assert (fn(y, yh) >= 0).all()
+
+    def test_log_loss_per_row(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        out = log_loss_per_row([0, 1], probs)
+        np.testing.assert_allclose(out, [-np.log(0.9), -np.log(0.8)])
+
+    def test_log_loss_label_out_of_range(self):
+        with pytest.raises(ShapeError):
+            log_loss_per_row([2], np.array([[0.5, 0.5]]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            squared_loss([1.0], [1.0, 2.0])
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_function(self, rng):
+        x = rng.normal(size=(200, 3))
+        y = x @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = LinearRegression().fit(x, y)
+        np.testing.assert_allclose(model.coef_, [2.0, -1.0, 0.5], atol=1e-5)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-5)
+        assert model.score(x, y) == pytest.approx(1.0, abs=1e-9)
+
+    def test_collinear_design_stable_with_ridge(self, rng):
+        x = rng.normal(size=(100, 2))
+        x = np.column_stack([x, x[:, 0]])  # perfectly collinear
+        y = x[:, 0] + x[:, 1]
+        model = LinearRegression(l2=1e-6).fit(x, y)
+        assert np.isfinite(model.coef_).all()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.ones((2, 2)))
+
+    def test_dim_mismatch_on_predict(self, rng):
+        model = LinearRegression().fit(rng.normal(size=(10, 2)), np.ones(10))
+        with pytest.raises(ShapeError):
+            model.predict(np.ones((3, 5)))
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearRegression(l2=-1.0)
+
+
+class TestMultinomialLogistic:
+    def test_learns_separable_problem(self, rng):
+        x = rng.normal(size=(300, 2))
+        y = (x[:, 0] + 2 * x[:, 1] > 0).astype(int)
+        model = MultinomialLogisticRegression(num_iterations=150).fit(x, y)
+        assert model.accuracy(x, y) > 0.95
+
+    def test_three_classes(self, rng):
+        x = rng.normal(size=(300, 2)) + np.repeat(
+            np.array([[0, 0], [4, 0], [0, 4]]), 100, axis=0
+        )
+        y = np.repeat([0, 1, 2], 100)
+        model = MultinomialLogisticRegression(num_iterations=150).fit(x, y)
+        assert model.accuracy(x, y) > 0.9
+        probs = model.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(300), atol=1e-9)
+
+    def test_loss_monotone_nonincreasing(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 0] > 0).astype(int)
+        model = MultinomialLogisticRegression(num_iterations=50).fit(x, y)
+        curve = np.array(model.loss_curve_)
+        assert (np.diff(curve) <= 1e-8).all()
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            MultinomialLogisticRegression().predict(np.ones((2, 2)))
+
+    def test_negative_labels_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            MultinomialLogisticRegression().fit(rng.normal(size=(4, 2)), [-1, 0, 1, 0])
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+        x = np.vstack([rng.normal(c, 0.2, size=(50, 2)) for c in centers])
+        model = KMeans(num_clusters=3, seed=1).fit(x)
+        labels = model.predict(x)
+        # all points of one true cluster share a label
+        for i in range(3):
+            block = labels[i * 50 : (i + 1) * 50]
+            assert len(set(block.tolist())) == 1
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        x = rng.normal(size=(120, 2))
+        inertias = [
+            KMeans(num_clusters=c, seed=0).fit(x).inertia_ for c in (1, 3, 8)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_fit_predict_matches_predict(self, rng):
+        x = rng.normal(size=(60, 3))
+        model = KMeans(num_clusters=4, seed=2)
+        labels = model.fit_predict(x)
+        np.testing.assert_array_equal(labels, model.predict(x))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValidationError):
+            KMeans(num_clusters=5).fit(np.ones((3, 2)))
+
+    def test_deterministic_with_seed(self, rng):
+        x = rng.normal(size=(80, 2))
+        a = KMeans(num_clusters=3, seed=7).fit(x).centroids_
+        b = KMeans(num_clusters=3, seed=7).fit(x).centroids_
+        np.testing.assert_allclose(a, b)
+
+
+class TestTrainTestSplit:
+    def test_shapes(self, rng):
+        x = rng.normal(size=(100, 4))
+        y = rng.normal(size=100)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, test_fraction=0.2, seed=1)
+        assert x_tr.shape[0] == 80 and x_te.shape[0] == 20
+        assert y_tr.shape[0] == 80 and y_te.shape[0] == 20
+
+    def test_disjoint_and_complete(self, rng):
+        x = np.arange(50).reshape(-1, 1)
+        x_tr, x_te = train_test_split(x, test_fraction=0.3, seed=2)
+        combined = sorted(x_tr.ravel().tolist() + x_te.ravel().tolist())
+        assert combined == list(range(50))
+
+    def test_aligned_permutation(self, rng):
+        x = np.arange(30).reshape(-1, 1)
+        y = np.arange(30) * 10
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, seed=3)
+        np.testing.assert_array_equal(y_tr, x_tr.ravel() * 10)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.ones((10, 1)), test_fraction=1.5)
+
+    def test_row_mismatch(self):
+        with pytest.raises(ShapeError):
+            train_test_split(np.ones((10, 1)), np.ones(5))

@@ -1,0 +1,174 @@
+"""Tests for recoding, binning, and the preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EncodingError, ValidationError
+from repro.preprocessing import (
+    ColumnSpec,
+    EquiWidthBinner,
+    Preprocessor,
+    QuantileBinner,
+    Recoder,
+)
+
+
+class TestEquiWidthBinner:
+    def test_codes_are_one_based_and_bounded(self):
+        binner = EquiWidthBinner(num_bins=10)
+        values = np.linspace(0, 100, 57)
+        codes = binner.fit_transform(values)
+        assert codes.min() == 1 and codes.max() == 10
+
+    def test_constant_column_single_bin(self):
+        codes = EquiWidthBinner(5).fit_transform(np.full(10, 3.3))
+        assert (codes == 1).all()
+
+    def test_out_of_range_clipped(self):
+        binner = EquiWidthBinner(4).fit(np.array([0.0, 10.0]))
+        codes = binner.transform(np.array([-5.0, 15.0]))
+        np.testing.assert_array_equal(codes, [1, 4])
+
+    def test_equal_width_property(self):
+        binner = EquiWidthBinner(4).fit(np.array([0.0, 8.0]))
+        codes = binner.transform(np.array([0.5, 2.5, 4.5, 6.5]))
+        np.testing.assert_array_equal(codes, [1, 2, 3, 4])
+
+    def test_bin_labels(self):
+        binner = EquiWidthBinner(2).fit(np.array([0.0, 10.0]))
+        labels = binner.bin_labels()
+        assert len(labels) == 2 and labels[0].startswith("[0")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            EquiWidthBinner(3).fit(np.array([1.0, np.nan]))
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            EquiWidthBinner(3).transform(np.array([1.0]))
+
+
+class TestQuantileBinner:
+    def test_roughly_equal_counts(self):
+        gen = np.random.default_rng(0)
+        values = gen.exponential(size=2000)
+        codes = QuantileBinner(4).fit_transform(values)
+        counts = np.bincount(codes)[1:]
+        assert counts.min() > 400  # ~500 each
+
+    def test_ties_collapse_bins(self):
+        values = np.array([1.0] * 90 + [2.0] * 10)
+        binner = QuantileBinner(10)
+        codes = binner.fit_transform(values)
+        assert binner.num_effective_bins < 10
+        assert codes.min() == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            QuantileBinner(3).fit(np.array([]))
+
+
+class TestRecoder:
+    def test_deterministic_sorted_codes(self):
+        recoder = Recoder().fit(["b", "a", "c", "a"])
+        np.testing.assert_array_equal(
+            recoder.transform(["a", "b", "c"]), [1, 2, 3]
+        )
+
+    def test_inverse_round_trip(self):
+        recoder = Recoder().fit(["x", "y"])
+        codes = recoder.transform(["y", "x", "y"])
+        assert recoder.inverse(codes) == ["y", "x", "y"]
+
+    def test_unseen_category_errors_by_default(self):
+        recoder = Recoder().fit(["a"])
+        with pytest.raises(EncodingError):
+            recoder.transform(["b"])
+
+    def test_unseen_category_mapped_with_code_mode(self):
+        recoder = Recoder(handle_unknown="code").fit(["a", "b"])
+        np.testing.assert_array_equal(recoder.transform(["c"]), [3])
+        assert recoder.domain_size == 3
+        assert recoder.value_labels()[-1] == "<unknown>"
+
+    def test_integer_categories(self):
+        recoder = Recoder().fit([30, 10, 20])
+        np.testing.assert_array_equal(recoder.transform([10, 20, 30]), [1, 2, 3])
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValidationError):
+            Recoder(handle_unknown="bogus")
+
+
+class TestPreprocessor:
+    @pytest.fixture
+    def table(self):
+        gen = np.random.default_rng(1)
+        return {
+            "id": np.arange(50),
+            "age": gen.uniform(18, 90, size=50),
+            "job": gen.choice(["eng", "law", "med"], size=50),
+            "grade": gen.integers(1, 5, size=50),
+        }
+
+    @pytest.fixture
+    def specs(self):
+        return [
+            ColumnSpec("id", "drop"),
+            ColumnSpec("age", "numeric", num_bins=5),
+            ColumnSpec("job", "categorical"),
+            ColumnSpec("grade", "integer"),
+        ]
+
+    def test_fit_transform_shape(self, table, specs):
+        encoded = Preprocessor(specs).fit_transform(table)
+        assert encoded.x0.shape == (50, 3)  # id dropped
+        assert encoded.feature_names == ("age", "job", "grade")
+
+    def test_codes_one_based(self, table, specs):
+        encoded = Preprocessor(specs).fit_transform(table)
+        assert encoded.x0.min() >= 1
+
+    def test_value_labels_align_with_domains(self, table, specs):
+        encoded = Preprocessor(specs).fit_transform(table)
+        for j in range(encoded.num_features):
+            assert len(encoded.value_labels[j]) >= encoded.x0[:, j].max()
+
+    def test_feature_space_consistency(self, table, specs):
+        encoded = Preprocessor(specs).fit_transform(table)
+        assert encoded.num_onehot_columns == int(encoded.x0.max(axis=0).sum())
+
+    def test_missing_column_rejected(self, specs):
+        with pytest.raises(ValidationError):
+            Preprocessor(specs).fit({"age": np.array([1.0])})
+
+    def test_length_mismatch_rejected(self, specs):
+        bad = {
+            "age": np.ones(3),
+            "job": np.array(["a", "b"]),
+            "grade": np.array([1, 2, 3]),
+        }
+        with pytest.raises(ValidationError):
+            Preprocessor(specs).fit(bad)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Preprocessor([ColumnSpec("a"), ColumnSpec("a")])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            ColumnSpec("a", kind="nope")
+
+    def test_integer_column_must_be_one_based(self):
+        specs = [ColumnSpec("g", "integer")]
+        with pytest.raises(ValidationError):
+            Preprocessor(specs).fit({"g": np.array([0, 1])})
+
+    def test_transform_before_fit_raises(self, table, specs):
+        with pytest.raises(RuntimeError):
+            Preprocessor(specs).transform(table)
+
+    def test_quantile_kind(self, table):
+        specs = [ColumnSpec("age", "numeric_quantile", num_bins=4)]
+        encoded = Preprocessor(specs).fit_transform(table)
+        assert encoded.x0.max() <= 4

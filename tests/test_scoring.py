@@ -1,0 +1,152 @@
+"""Tests for the scoring function (Eq. 1/5) and its upper bound (Eq. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import (
+    score,
+    score_at_size,
+    score_single,
+    score_upper_bound,
+)
+from repro.exceptions import ValidationError
+
+
+class TestScoreProperties:
+    """The paper's stated properties of the scoring function (Section 2.2)."""
+
+    def test_full_dataset_scores_zero_for_any_alpha(self):
+        # Property 2: the score of X itself is always 0.
+        for alpha in (0.1, 0.5, 0.95, 1.0):
+            assert score_single(100, 40.0, 100, 40.0, alpha) == pytest.approx(0.0)
+
+    def test_alpha_half_balances_error_and_size(self):
+        # Property 1: at alpha=0.5 the two components carry equal weight:
+        # sc = (se_bar/e_bar - n/|S|) / 2, so doubling the relative error
+        # while halving the size doubles both components symmetrically.
+        n, total = 1000, 500.0
+        avg = total / n
+        s1 = score_single(500, 500 * (2 * avg), n, total, 0.5)  # r=2, z=2
+        s2 = score_single(250, 250 * (4 * avg), n, total, 0.5)  # r=4, z=4
+        # on the zero contour (r == z) the trade is exactly score-neutral
+        assert s1 == pytest.approx(0.0)
+        assert s2 == pytest.approx(0.0)
+        # off the contour the score scales linearly with the doubling
+        a = score_single(500, 500 * (3 * avg), n, total, 0.5)  # r=3, z=2
+        b = score_single(250, 250 * (6 * avg), n, total, 0.5)  # r=6, z=4
+        assert b == pytest.approx(2 * a)
+
+    def test_alpha_one_ignores_size(self):
+        n, total = 1000, 100.0
+        a = score_single(10, 10 * 0.5, n, total, 1.0)
+        b = score_single(500, 500 * 0.5, n, total, 1.0)
+        assert a == pytest.approx(b)
+
+    def test_empty_slice_is_negative_infinity(self):
+        assert score_single(0, 0.0, 100, 10.0, 0.9) == -np.inf
+
+    def test_above_average_error_scores_positive_when_large(self):
+        n, total = 1000, 100.0
+        assert score_single(500, 500 * 0.2 * 2, n, total, 0.95) > 0
+
+    def test_vectorized_matches_scalar(self):
+        sizes = np.array([10.0, 50.0, 100.0])
+        errors = np.array([5.0, 10.0, 30.0])
+        vec = score(sizes, errors, 200, 60.0, 0.9)
+        for i in range(3):
+            assert vec[i] == pytest.approx(
+                score_single(sizes[i], errors[i], 200, 60.0, 0.9)
+            )
+
+    def test_zero_total_error_rejected(self):
+        with pytest.raises(ValidationError):
+            score(np.array([1.0]), np.array([0.0]), 10, 0.0, 0.5)
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ValidationError):
+            score(np.array([1.0]), np.array([0.0]), 0, 1.0, 0.5)
+
+
+class TestScoreUpperBound:
+    def test_bound_dominates_actual_score(self):
+        # For a slice with known stats, the bound computed from those exact
+        # stats must be >= its true score.
+        n, total, sigma, alpha = 500, 100.0, 5, 0.9
+        size, error, max_error = 50.0, 30.0, 2.0
+        actual = score_single(size, error, n, total, alpha)
+        bound = score_upper_bound(
+            np.array([size]), np.array([error]), np.array([max_error]),
+            n, total, sigma, alpha,
+        )[0]
+        assert bound >= actual - 1e-9
+
+    def test_bound_empty_interval_is_minus_inf(self):
+        # size bound below sigma: no valid slice can exist underneath
+        bound = score_upper_bound(
+            np.array([3.0]), np.array([5.0]), np.array([1.0]), 100, 10.0, 5, 0.9
+        )[0]
+        assert bound == -np.inf
+
+    def test_bound_monotone_in_size_bound(self):
+        n, total, sigma, alpha = 1000, 200.0, 10, 0.9
+        bounds = score_upper_bound(
+            np.array([20.0, 50.0, 400.0]),
+            np.array([30.0, 30.0, 30.0]),
+            np.array([1.5, 1.5, 1.5]),
+            n, total, sigma, alpha,
+        )
+        assert bounds[0] <= bounds[1] + 1e-12
+        assert bounds[1] <= bounds[2] + 1e-12
+
+    def test_bound_monotone_in_error_bound(self):
+        n, total, sigma, alpha = 1000, 200.0, 10, 0.9
+        bounds = score_upper_bound(
+            np.array([100.0, 100.0]),
+            np.array([10.0, 40.0]),
+            np.array([1.0, 1.0]),
+            n, total, sigma, alpha,
+        )
+        assert bounds[0] <= bounds[1] + 1e-12
+
+    def test_zero_max_error_gives_nonpositive_interesting_scores(self):
+        # With sm = 0 the hypothetical child carries zero error.
+        bound = score_upper_bound(
+            np.array([50.0]), np.array([10.0]), np.array([0.0]),
+            200, 50.0, 5, 0.9,
+        )[0]
+        assert bound <= 0.0
+
+    def test_score_at_size_caps_error_by_size_times_max(self):
+        vals = score_at_size(
+            np.array([10.0]), np.array([100.0]), np.array([0.5]),
+            100, 50.0, 0.9,
+        )
+        # effective error is min(100, 10*0.5) = 5
+        manual = 0.9 * ((100 * 5.0) / (10.0 * 50.0) - 1) - 0.1 * (100 / 10.0 - 1)
+        assert vals[0] == pytest.approx(manual)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        size=st.floats(1, 1000),
+        avg_err=st.floats(0.001, 10),
+        max_err_factor=st.floats(1.0, 20.0),
+        alpha=st.floats(0.01, 1.0),
+        sigma=st.integers(1, 50),
+    )
+    def test_property_bound_dominates_own_score(
+        self, size, avg_err, max_err_factor, alpha, sigma
+    ):
+        """ceil(sc) from a slice's exact stats bounds its own score."""
+        n, total = 2000, 1500.0
+        error = size * avg_err
+        max_error = avg_err * max_err_factor
+        if size < sigma:
+            return  # bound legitimately -inf; slice itself invalid
+        actual = score_single(size, min(error, size * max_error), n, total, alpha)
+        bound = score_upper_bound(
+            np.array([size]), np.array([error]), np.array([max_error]),
+            n, total, sigma, alpha,
+        )[0]
+        assert bound >= actual - 1e-6

@@ -1,0 +1,80 @@
+"""Tests for the fairness/bias error signals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.ml import (
+    calibration_gap_signal,
+    false_negative_signal,
+    false_positive_signal,
+    positive_prediction_signal,
+)
+
+
+class TestConfusionSignals:
+    def test_false_negative(self):
+        y = np.array([1, 1, 0, 0])
+        y_hat = np.array([0, 1, 0, 1])
+        np.testing.assert_allclose(false_negative_signal(y, y_hat), [1, 0, 0, 0])
+
+    def test_false_positive(self):
+        y = np.array([1, 1, 0, 0])
+        y_hat = np.array([0, 1, 0, 1])
+        np.testing.assert_allclose(false_positive_signal(y, y_hat), [0, 0, 0, 1])
+
+    def test_signals_partition_the_errors(self, rng):
+        y = rng.integers(0, 2, size=200)
+        y_hat = rng.integers(0, 2, size=200)
+        total_wrong = (y != y_hat).sum()
+        fn = false_negative_signal(y, y_hat).sum()
+        fp = false_positive_signal(y, y_hat).sum()
+        assert fn + fp == total_wrong
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValidationError):
+            false_negative_signal([0, 2], [0, 1])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ShapeError):
+            false_negative_signal([0, 1], [0, 1, 1])
+
+    def test_positive_prediction(self):
+        np.testing.assert_allclose(
+            positive_prediction_signal([1, 0, 1]), [1, 0, 1]
+        )
+
+
+class TestCalibrationGap:
+    def test_perfect_calibration_zero(self):
+        assert calibration_gap_signal([1, 0], [1.0, 0.0]).sum() == 0.0
+
+    def test_gap_values(self):
+        np.testing.assert_allclose(
+            calibration_gap_signal([1, 0], [0.3, 0.2]), [0.7, 0.2]
+        )
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            calibration_gap_signal([1], [1.5])
+
+
+class TestSignalsWithSliceLine:
+    def test_fairness_audit_finds_biased_subgroup(self, rng):
+        """End-to-end: SliceLine over a false-negative signal recovers the
+        subgroup that was systematically denied."""
+        from repro.core import SliceLineConfig, slice_line
+
+        n = 4000
+        x0 = np.column_stack(
+            [rng.integers(1, 4, size=n), rng.integers(1, 3, size=n)]
+        ).astype(np.int64)
+        qualified = rng.integers(0, 2, size=n)
+        predictions = qualified.copy()
+        biased = (x0[:, 0] == 2) & (qualified == 1)
+        predictions[biased & (rng.random(n) < 0.8)] = 0
+
+        signal = false_negative_signal(qualified, predictions)
+        res = slice_line(x0, signal, SliceLineConfig(k=3, sigma=50))
+        assert res.top_slices
+        assert res.top_slices[0].predicates.get(0) == 2

@@ -1,0 +1,79 @@
+"""Tests for Welch's t-test and effect-size measures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats import cohens_d, effect_size, welch_t_test
+
+
+class TestWelch:
+    def test_clearly_different_means_significant(self, rng):
+        a = rng.normal(5.0, 1.0, size=200)
+        b = rng.normal(0.0, 1.0, size=200)
+        result = welch_t_test(a, b)
+        assert result.statistic > 10
+        assert result.p_value < 1e-6
+        assert result.significant()
+
+    def test_identical_distributions_not_significant(self, rng):
+        a = rng.normal(0.0, 1.0, size=500)
+        b = rng.normal(0.0, 1.0, size=500)
+        assert welch_t_test(a, b).p_value > 0.001
+
+    def test_one_sided_direction(self, rng):
+        low = rng.normal(0.0, 1.0, size=100)
+        high = rng.normal(3.0, 1.0, size=100)
+        # alternative is mean(a) > mean(b): reversed order is insignificant
+        assert welch_t_test(low, high).p_value > 0.5
+
+    def test_matches_scipy(self, rng):
+        from scipy import stats as scipy_stats
+
+        a = rng.normal(1.0, 2.0, size=80)
+        b = rng.normal(0.5, 1.0, size=120)
+        ours = welch_t_test(a, b)
+        ref = scipy_stats.ttest_ind(a, b, equal_var=False, alternative="greater")
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-9)
+
+    def test_degenerate_zero_variance(self):
+        a = np.full(5, 2.0)
+        b = np.full(5, 1.0)
+        result = welch_t_test(a, b)
+        assert result.p_value == 0.0
+        equal = welch_t_test(a, a)
+        assert equal.p_value == 1.0
+
+    def test_too_small_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+
+class TestEffectSize:
+    def test_cohens_d_known_value(self):
+        a = np.array([2.0, 4.0, 6.0, 8.0])
+        b = np.array([1.0, 3.0, 5.0, 7.0])
+        # means differ by 1, pooled sd = sqrt(20/3)
+        assert cohens_d(a, b) == pytest.approx(1.0 / np.sqrt(20 / 3))
+
+    def test_sign_follows_direction(self, rng):
+        a = rng.normal(2.0, 1.0, size=100)
+        b = rng.normal(0.0, 1.0, size=100)
+        assert cohens_d(a, b) > 0 > cohens_d(b, a)
+
+    def test_effect_size_zero_for_identical(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert effect_size(a, a) == 0.0
+
+    def test_effect_size_constant_different(self):
+        assert effect_size(np.full(3, 2.0), np.full(3, 1.0)) == np.inf
+
+    def test_effect_size_scale_invariant(self, rng):
+        a = rng.normal(1.0, 1.0, size=400)
+        b = rng.normal(0.0, 1.0, size=400)
+        assert effect_size(10 * a, 10 * b) == pytest.approx(effect_size(a, b))
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ValidationError):
+            effect_size([1.0], [2.0, 3.0])
