@@ -10,15 +10,16 @@ import pytest
 
 from repro.experiments import bench_config, format_table, run_sliceline
 
-from conftest import bench_dataset, run_once
+from conftest import bench_dataset, record_obs, run_once
 
 
 def _enumerate(name, **overrides):
     bundle = bench_dataset(name)
     cfg = bench_config(name, bundle.num_rows, **overrides)
-    _, report = run_sliceline(
-        bundle.x0, bundle.errors, cfg, dataset=name, num_threads=4
+    result, report = run_sliceline(
+        bundle.x0, bundle.errors, cfg, dataset=name, num_threads=4, trace=True
     )
+    record_obs(f"fig4:{name}", result)
     return report
 
 
@@ -60,4 +61,5 @@ def test_fig4_benchmark_adult(benchmark):
         lambda: slice_line(bundle.x0, bundle.errors, cfg, num_threads=4),
         rounds=2, iterations=1,
     )
+    record_obs("fig4:adult:timed", result)
     assert result.top_slices

@@ -10,9 +10,13 @@ see the regenerated tables.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from repro.datasets import load_dataset
+from repro.obs import run_to_dict
 
 #: per-dataset row scales used by the benchmark suite (laptop budget)
 BENCH_SCALES = {
@@ -49,3 +53,25 @@ def run_once(benchmark, fn):
     under ``--benchmark-only`` (which skips tests without a benchmark).
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+#: observability documents collected by benches via :func:`record_obs`
+OBS_RECORDS: list[dict] = []
+
+
+def record_obs(label: str, result) -> None:
+    """Capture one run's counters/trace for the session's ``BENCH_obs.json``.
+
+    Benches call this with a :class:`~repro.core.types.SliceLineResult`;
+    the full ``repro.obs/v1`` document is stored under *label* and flushed
+    to ``benchmarks/BENCH_obs.json`` when the pytest session ends.
+    """
+    OBS_RECORDS.append({"label": label, **run_to_dict(result)})
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not OBS_RECORDS:
+        return
+    out = pathlib.Path(__file__).parent / "BENCH_obs.json"
+    out.write_text(json.dumps(OBS_RECORDS, indent=2) + "\n")
+    print(f"\nwrote {len(OBS_RECORDS)} observability record(s) to {out}")

@@ -9,6 +9,10 @@ Reads a headered CSV (no pandas required), applies the paper's
 preprocessing (categorical recoding, 10-bin equi-width binning of numeric
 columns), runs SliceLine, and prints the decoded top-K slices.  Columns are
 treated as numeric when every value parses as a float unless overridden.
+
+``--trace`` additionally prints the per-level enumeration counters and the
+span tree of the run; ``--trace-json PATH`` writes the full observability
+document (``repro.obs/v1``, see EXPERIMENTS.md) for machine consumption.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import numpy as np
 
 from repro.core import SliceLine
 from repro.exceptions import ReproError, ValidationError
+from repro.obs import counters_table, format_trace, write_json
 from repro.preprocessing import ColumnSpec, Preprocessor
 
 
@@ -120,6 +125,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--bins", type=int, default=10,
         help="bins per numeric column (default 10, as in the paper)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print per-level pruning counters and the timed span tree",
+    )
+    parser.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="write the run's observability JSON (repro.obs/v1) to PATH",
+    )
+    parser.add_argument(
+        "--trace-memory", action="store_true",
+        help="with --trace/--trace-json: also record tracemalloc "
+        "allocation high-water marks per span",
+    )
     return parser
 
 
@@ -141,9 +159,11 @@ def main(argv: list[str] | None = None) -> int:
             _split(args.numeric), _split(args.categorical), args.bins,
         )
         encoded = Preprocessor(specs).fit_transform(table)
+        tracing = args.trace or args.trace_json is not None
         finder = SliceLine(
             k=args.k, sigma=args.sigma, alpha=args.alpha,
             max_level=args.max_level,
+            trace=("memory" if args.trace_memory else True) if tracing else None,
         )
         finder.fit(encoded.x0, errors, feature_names=encoded.feature_names)
     except (ReproError, OSError) as exc:
@@ -151,6 +171,17 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     result = finder.result_
+    if args.trace:
+        print(counters_table(result.counters, title="per-level enumeration"))
+        print("trace:")
+        print(format_trace(result.trace))
+    if args.trace_json is not None:
+        try:
+            write_json(result, args.trace_json)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"trace JSON written to {args.trace_json}")
     print(
         f"n={result.num_rows} rows, m={result.num_features} features, "
         f"l={result.num_onehot_columns} one-hot columns, "

@@ -25,9 +25,10 @@ from repro.core.evaluate import evaluate_slices
 from repro.core.onehot import FeatureSpace, validate_encoded_matrix
 from repro.core.pairs import get_pair_candidates
 from repro.core.topk import empty_topk, maintain_topk, topk_min_score
-from repro.core.types import LevelStats, SliceLineResult, StatsCol
+from repro.core.types import SliceLineResult, StatsCol
 from repro.exceptions import ShapeError
 from repro.linalg import ensure_vector
+from repro.obs import NULL_TRACER, CounterRegistry, Tracer, resolve_tracer
 
 
 def slice_line(
@@ -36,6 +37,7 @@ def slice_line(
     config: SliceLineConfig | None = None,
     feature_space: FeatureSpace | None = None,
     num_threads: int = 1,
+    trace: bool | str | Tracer | None = None,
 ) -> SliceLineResult:
     """Find the top-K problematic slices of an integer-encoded dataset.
 
@@ -56,14 +58,26 @@ def slice_line(
         names); derived from *x0* when omitted.
     num_threads:
         Thread-pool width for blocked slice evaluation (1 = serial).
+    trace:
+        Observability switch: ``None``/``False`` (default) disables span
+        recording at near-zero cost, ``True`` records a hierarchical trace
+        of the search, ``"memory"`` additionally tracks the ``tracemalloc``
+        allocation high-water mark per span, and an explicit
+        :class:`~repro.obs.Tracer` lets several runs share one trace.
+        Per-level pruning counters are collected regardless (they replace
+        the former ad-hoc ``LevelStats`` bookkeeping) and are exported as
+        ``result.counters``.
 
     Returns
     -------
     SliceLineResult
         Decoded top-K slices, their statistics, and per-level enumeration
-        statistics.
+        statistics; ``result.trace`` carries the span tree when traced and
+        ``result.to_obs_dict()`` serializes everything to JSON.
     """
     cfg = config or SliceLineConfig()
+    tracer = resolve_tracer(trace)
+    counters = CounterRegistry()
     x0 = validate_encoded_matrix(x0, allow_missing=True)
     num_rows, num_features = x0.shape
     errors = ensure_vector(errors, num_rows, "errors")
@@ -79,26 +93,29 @@ def slice_line(
     average_error = total_error / num_rows
 
     started = time.perf_counter()
-    x_onehot = space.encode(x0)
+    with tracer.span("encode", num_rows=num_rows, num_features=num_features):
+        x_onehot = space.encode(x0)
 
     if total_error <= 0:
         # A perfect model has no problematic slices: every score is <= 0.
-        return _empty_result(space, num_rows, x_onehot.shape[1], average_error)
+        return _empty_result(
+            space, num_rows, x_onehot.shape[1], average_error,
+            counters=counters, tracer=tracer, started=started,
+        )
 
     # -- initialization: basic slices and initial top-K ----------------------
     level_started = time.perf_counter()
-    basic = create_and_score_basic_slices(x_onehot, errors, sigma, cfg.alpha)
-    top_slices, top_stats = maintain_topk(
-        basic.slices, basic.stats, *empty_topk(basic.num_slices), cfg.k, sigma
-    )
-    level_stats = [
-        LevelStats(
-            level=1,
-            evaluated=x_onehot.shape[1],
-            valid=basic.num_slices,
-            elapsed_seconds=time.perf_counter() - level_started,
+    current = counters.level(1)
+    with tracer.span("level1.basic", onehot_columns=x_onehot.shape[1]):
+        basic = create_and_score_basic_slices(x_onehot, errors, sigma, cfg.alpha)
+        top_slices, top_stats = maintain_topk(
+            basic.slices, basic.stats, *empty_topk(basic.num_slices), cfg.k, sigma
         )
-    ]
+    current.candidates_emitted = x_onehot.shape[1]
+    current.evaluated = x_onehot.shape[1]
+    current.valid = basic.num_slices
+    current.indicator_nnz = int(x_onehot.nnz)
+    current.elapsed_seconds = time.perf_counter() - level_started
 
     # Project X to the valid basic-slice columns (Algorithm 1 line 12): all
     # deeper slices are conjunctions of valid basic slices.
@@ -113,47 +130,60 @@ def slice_line(
     while slices.shape[0] > 0 and level < max_level:
         level += 1
         level_started = time.perf_counter()
-        current = LevelStats(level=level)
-        slices, bounds = get_pair_candidates(
-            slices,
-            stats,
-            level,
-            num_rows=num_rows,
-            total_error=total_error,
-            sigma=sigma,
-            alpha=cfg.alpha,
-            topk_min_score=topk_min_score(top_stats, cfg.k),
-            feature_map=feature_map,
-            pruning=cfg.pruning,
-            level_stats=current,
-        )
-        if slices.shape[0] > 0:
-            slices, stats, top_slices, top_stats = _evaluate_level(
-                x_projected, errors, slices, bounds, level, cfg,
-                top_slices, top_stats, sigma, num_threads, current,
-            )
-            current.valid = int(
-                np.count_nonzero(
-                    (stats[:, StatsCol.SIZE] >= sigma)
-                    & (stats[:, StatsCol.ERROR] > 0)
+        current = counters.level(level)
+        with tracer.span(f"level{level}", level=level) as level_span:
+            with tracer.span(f"level{level}.pairs", parents=slices.shape[0]):
+                slices, bounds = get_pair_candidates(
+                    slices,
+                    stats,
+                    level,
+                    num_rows=num_rows,
+                    total_error=total_error,
+                    sigma=sigma,
+                    alpha=cfg.alpha,
+                    topk_min_score=topk_min_score(top_stats, cfg.k),
+                    feature_map=feature_map,
+                    pruning=cfg.pruning,
+                    level_stats=current,
+                    tracer=tracer,
                 )
+            if slices.shape[0] > 0:
+                with tracer.span(
+                    f"level{level}.evaluate", candidates=slices.shape[0]
+                ):
+                    slices, stats, top_slices, top_stats = _evaluate_level(
+                        x_projected, errors, slices, bounds, level, cfg,
+                        top_slices, top_stats, sigma, num_threads, current,
+                        tracer,
+                    )
+                current.valid = int(
+                    np.count_nonzero(
+                        (stats[:, StatsCol.SIZE] >= sigma)
+                        & (stats[:, StatsCol.ERROR] > 0)
+                    )
+                )
+            level_span.annotate(
+                evaluated=current.evaluated, valid=current.valid,
+                skipped=current.skipped_by_priority,
             )
         current.elapsed_seconds = time.perf_counter() - level_started
-        level_stats.append(current)
 
-    decoded, encoded = decode_topk(
-        top_slices, top_stats, basic.selected_columns, space
-    )
+    with tracer.span("decode", top_k=int(top_slices.shape[0])):
+        decoded, encoded = decode_topk(
+            top_slices, top_stats, basic.selected_columns, space
+        )
     return SliceLineResult(
         top_slices=decoded,
         top_slices_encoded=encoded,
         top_stats=top_stats,
-        level_stats=level_stats,
+        level_stats=counters.levels,
         total_seconds=time.perf_counter() - started,
         num_rows=num_rows,
         num_features=num_features,
         num_onehot_columns=x_onehot.shape[1],
         average_error=average_error,
+        counters=counters,
+        trace=tracer if tracer.enabled else None,
     )
 
 
@@ -168,7 +198,8 @@ def _evaluate_level(
     top_stats,
     sigma: int,
     num_threads: int,
-    current: LevelStats,
+    current,
+    tracer=None,
 ):
     """Evaluate one level's candidates, optionally in priority order.
 
@@ -180,6 +211,7 @@ def _evaluate_level(
     argument applied mid-level.  Returns the evaluated slices, their stats,
     and the updated top-K.
     """
+    tracer = tracer or NULL_TRACER
     use_priority = (
         cfg.priority_evaluation
         and bounds is not None
@@ -189,6 +221,7 @@ def _evaluate_level(
         stats = evaluate_slices(
             x_projected, errors, slices, level, cfg.alpha,
             block_size=cfg.block_size, num_threads=num_threads,
+            tracer=tracer, counters=current,
         )
         current.evaluated = int(slices.shape[0])
         top_slices, top_stats = maintain_topk(
@@ -208,6 +241,7 @@ def _evaluate_level(
         chunk_stats = evaluate_slices(
             x_projected, errors, chunk, level, cfg.alpha,
             block_size=cfg.block_size, num_threads=num_threads,
+            tracer=tracer, counters=current,
         )
         kept_slices.append(chunk)
         kept_stats.append(chunk_stats)
@@ -235,18 +269,37 @@ def _evaluate_level(
 
 
 def _empty_result(
-    space: FeatureSpace, num_rows: int, num_onehot: int, average_error: float
+    space: FeatureSpace,
+    num_rows: int,
+    num_onehot: int,
+    average_error: float,
+    counters: CounterRegistry | None = None,
+    tracer=None,
+    started: float | None = None,
 ) -> SliceLineResult:
+    """An empty result that still accounts for the work actually done.
+
+    Even when no slice can score above zero (``total_error <= 0``), the
+    encoding pass over ``X0`` happened: record a level-1 entry with zero
+    evaluations and the real elapsed time instead of pretending the run was
+    free.
+    """
+    counters = counters or CounterRegistry()
+    elapsed = time.perf_counter() - started if started is not None else 0.0
+    level_one = counters.level(1)
+    level_one.elapsed_seconds = elapsed
     return SliceLineResult(
         top_slices=[],
         top_slices_encoded=np.zeros((0, space.num_features), dtype=np.int64),
         top_stats=np.zeros((0, 4)),
-        level_stats=[],
-        total_seconds=0.0,
+        level_stats=counters.levels,
+        total_seconds=elapsed,
         num_rows=num_rows,
         num_features=space.num_features,
         num_onehot_columns=num_onehot,
         average_error=average_error,
+        counters=counters,
+        trace=tracer if tracer is not None and tracer.enabled else None,
     )
 
 
@@ -269,6 +322,7 @@ class SliceLine:
         block_size: int = 16,
         pruning: PruningConfig | None = None,
         num_threads: int = 1,
+        trace: bool | str | Tracer | None = None,
     ) -> None:
         self.k = k
         self.sigma = sigma
@@ -277,6 +331,7 @@ class SliceLine:
         self.block_size = block_size
         self.pruning = pruning or PruningConfig()
         self.num_threads = num_threads
+        self.trace = trace
         self.result_: SliceLineResult | None = None
         self.feature_names_: tuple[str, ...] | None = None
 
@@ -305,6 +360,7 @@ class SliceLine:
             config=self._config(),
             feature_space=space,
             num_threads=self.num_threads,
+            trace=self.trace,
         )
         return self
 

@@ -24,6 +24,7 @@ from repro.exceptions import ValidationError
 from repro.linalg import as_csr, col_maxs, col_sums, ensure_vector
 from repro.core.scoring import score
 from repro.core.types import stats_matrix
+from repro.obs import NULL_TRACER
 
 
 def indicator_equal(product: sp.csr_matrix, level: int) -> sp.csr_matrix:
@@ -71,12 +72,19 @@ def evaluate_slices(
     alpha: float,
     block_size: int = 16,
     num_threads: int = 1,
+    tracer=NULL_TRACER,
+    counters=None,
 ) -> np.ndarray:
     """Evaluate all candidate *slices* and return their ``R`` statistics.
 
     Blocks of ``block_size`` slices are evaluated independently (optionally
     on a thread pool — scipy's matmul releases the GIL for the heavy part),
     then concatenated into the level's ``R`` matrix ``[sc, se, sm, ss]``.
+
+    The blocked multiplication reports one span into *tracer*; when a
+    :class:`~repro.obs.LevelCounters` record is passed as *counters*, the
+    indicator fill (total row-slice memberships, which equals ``nnz(I)``)
+    is accumulated on it.
     """
     if block_size < 1:
         raise ValidationError("block_size must be >= 1")
@@ -92,18 +100,31 @@ def evaluate_slices(
         slices[start : min(start + block_size, num_slices)]
         for start in range(0, num_slices, block_size)
     ]
-    if num_threads > 1 and len(blocks) > 1:
-        with ThreadPoolExecutor(max_workers=num_threads) as pool:
-            partials = list(
-                pool.map(
-                    lambda blk: evaluate_block(x_onehot, errors, blk, level), blocks
+    with tracer.span(
+        "evaluate.blocks",
+        num_slices=num_slices,
+        blocks=len(blocks),
+        threads=num_threads,
+    ):
+        if num_threads > 1 and len(blocks) > 1:
+            with ThreadPoolExecutor(max_workers=num_threads) as pool:
+                partials = list(
+                    pool.map(
+                        lambda blk: evaluate_block(x_onehot, errors, blk, level),
+                        blocks,
+                    )
                 )
-            )
-    else:
-        partials = [evaluate_block(x_onehot, errors, blk, level) for blk in blocks]
+        else:
+            partials = [
+                evaluate_block(x_onehot, errors, blk, level) for blk in blocks
+            ]
 
     sizes = np.concatenate([p[0] for p in partials])
     slice_errors = np.concatenate([p[1] for p in partials])
     max_errors = np.concatenate([p[2] for p in partials])
+    if counters is not None:
+        # Every stored entry of I = (X S^T == L) is one (row, slice)
+        # membership, so sum(ss) over the level IS nnz(I) — free to track.
+        counters.indicator_nnz += int(sizes.sum())
     scores = score(sizes, slice_errors, num_rows, total_error, alpha)
     return stats_matrix(scores, slice_errors, max_errors, sizes)

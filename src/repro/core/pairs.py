@@ -37,8 +37,9 @@ import scipy.sparse as sp
 
 from repro.core.config import PruningConfig
 from repro.core.scoring import score_upper_bound
-from repro.core.types import LevelStats, StatsCol
+from repro.core.types import StatsCol
 from repro.linalg import iter_upper_tri_pair_chunks
+from repro.obs import NULL_TRACER, LevelCounters
 
 #: pairs processed per streaming step (bounds peak memory of the merge)
 _PAIR_BATCH = 1 << 20
@@ -90,7 +91,8 @@ def get_pair_candidates(
     topk_min_score: float,
     feature_map: np.ndarray,
     pruning: PruningConfig | None = None,
-    level_stats: LevelStats | None = None,
+    level_stats: LevelCounters | None = None,
+    tracer=NULL_TRACER,
 ) -> tuple[sp.csr_matrix, np.ndarray | None]:
     """Generate deduplicated, pruned candidate slices for *level*.
 
@@ -105,12 +107,14 @@ def get_pair_candidates(
     zero rows) together with the per-candidate upper-bound scores
     ``ceil(sc)`` (``None`` when score pruning is disabled) — the driver uses
     them for priority evaluation.  When *level_stats* is given, per-step
-    counters are recorded into it.
+    counters are recorded into it; when *tracer* is given, the join,
+    deduplication, and pruning steps report spans into it.
     """
     pruning = pruning or PruningConfig()
-    recorder = level_stats or LevelStats(level=level)
+    recorder = level_stats or LevelCounters(level=level)
     num_cols = slices.shape[1]
     empty = sp.csr_matrix((0, num_cols), dtype=np.float64)
+    recorder.input_slices += int(slices.shape[0])
 
     # -- step 1: prune invalid input slices ---------------------------------
     if pruning.filter_input_slices:
@@ -130,6 +134,7 @@ def get_pair_candidates(
                 alpha,
             )
             keep &= (parent_bound > topk_min_score) & (parent_bound >= 0.0)
+        recorder.input_filtered += int(keep.size - np.count_nonzero(keep))
         slices = slices[np.flatnonzero(keep)]
         stats = stats[keep]
     if slices.shape[0] < 2:
@@ -140,94 +145,111 @@ def get_pair_candidates(
     parent_sizes = stats[:, StatsCol.SIZE]
     parent_errors = stats[:, StatsCol.ERROR]
     parent_max_errors = stats[:, StatsCol.MAX_ERROR]
-    for rows, cols in iter_upper_tri_pair_chunks(slices, float(level - 2)):
-        for start in range(0, rows.size, _PAIR_BATCH):
-            left = rows[start : start + _PAIR_BATCH]
-            right = cols[start : start + _PAIR_BATCH]
-            recorder.pairs_generated += int(left.size)
-            keys = _merge_keys(slices, left, right, level)
-            feasible = _feature_valid(keys, feature_map)
-            recorder.invalid_feature_pairs += int(left.size - feasible.sum())
-            if not feasible.any():
-                continue
-            left, right, keys = left[feasible], right[feasible], keys[feasible]
-            size_ub = np.minimum(parent_sizes[left], parent_sizes[right])
-            error_ub = np.minimum(parent_errors[left], parent_errors[right])
-            max_error_ub = np.minimum(
-                parent_max_errors[left], parent_max_errors[right]
-            )
-            if pruning.by_score:
-                # The pair-level bound already upper-bounds the slice score;
-                # dropping failing pairs here keeps memory proportional to
-                # surviving candidates.  Any dedup group containing a failing
-                # pair has an even lower group bound, so the group-level
-                # pruning below remains exact.
-                sc_ub = score_upper_bound(
-                    size_ub, error_ub, max_error_ub,
-                    num_rows, total_error, sigma, alpha,
-                )
-                passing = (sc_ub > topk_min_score) & (sc_ub >= 0.0)
-                recorder.pruned_by_score += int(passing.size - passing.sum())
-                if not passing.any():
+    with tracer.span("pairs.join", parents=slices.shape[0]) as join_span:
+        for rows, cols in iter_upper_tri_pair_chunks(slices, float(level - 2)):
+            for start in range(0, rows.size, _PAIR_BATCH):
+                left = rows[start : start + _PAIR_BATCH]
+                right = cols[start : start + _PAIR_BATCH]
+                recorder.pairs_generated += int(left.size)
+                keys = _merge_keys(slices, left, right, level)
+                feasible = _feature_valid(keys, feature_map)
+                recorder.invalid_feature_pairs += int(left.size - feasible.sum())
+                if not feasible.any():
                     continue
-                left, right, keys = left[passing], right[passing], keys[passing]
-                size_ub, error_ub, max_error_ub = (
-                    size_ub[passing], error_ub[passing], max_error_ub[passing],
+                left, right, keys = left[feasible], right[feasible], keys[feasible]
+                size_ub = np.minimum(parent_sizes[left], parent_sizes[right])
+                error_ub = np.minimum(parent_errors[left], parent_errors[right])
+                max_error_ub = np.minimum(
+                    parent_max_errors[left], parent_max_errors[right]
                 )
-            acc.append(keys, left, right, size_ub, error_ub, max_error_ub)
+                if pruning.by_score:
+                    # The pair-level bound already upper-bounds the slice
+                    # score; dropping failing pairs here keeps memory
+                    # proportional to surviving candidates.  Any dedup group
+                    # containing a failing pair has an even lower group
+                    # bound, so the group-level pruning below remains exact.
+                    sc_ub = score_upper_bound(
+                        size_ub, error_ub, max_error_ub,
+                        num_rows, total_error, sigma, alpha,
+                    )
+                    passing = (sc_ub > topk_min_score) & (sc_ub >= 0.0)
+                    dropped = int(passing.size - passing.sum())
+                    recorder.pruned_by_score += dropped
+                    recorder.pruned_by_score_pairs += dropped
+                    if not passing.any():
+                        continue
+                    left, right, keys = (
+                        left[passing], right[passing], keys[passing],
+                    )
+                    size_ub, error_ub, max_error_ub = (
+                        size_ub[passing], error_ub[passing], max_error_ub[passing],
+                    )
+                acc.append(keys, left, right, size_ub, error_ub, max_error_ub)
+        join_span.annotate(pairs=recorder.pairs_generated)
     if acc.empty:
         return empty, None
     keys, left, right, size_ub, error_ub, max_error_ub = acc.concatenated()
+    recorder.candidates_before_dedup += int(keys.shape[0])
 
     # -- step 6: deduplicate via slice-ID keys --------------------------------
-    if pruning.deduplicate:
-        unique_keys, first_index, group = np.unique(
-            keys, axis=0, return_index=True, return_inverse=True
-        )
-        group = group.ravel()
-        num_groups = int(first_index.size)
-        grouped_size_ub = _group_min(size_ub, group, num_groups)
-        grouped_error_ub = _group_min(error_ub, group, num_groups)
-        grouped_max_error_ub = _group_min(max_error_ub, group, num_groups)
-        num_parents = _distinct_parent_count(group, num_groups, left, right)
-    else:
-        unique_keys = keys
-        num_groups = int(keys.shape[0])
-        grouped_size_ub = size_ub
-        grouped_error_ub = error_ub
-        grouped_max_error_ub = max_error_ub
-        num_parents = np.full(num_groups, 2, dtype=np.int64)
-    recorder.deduplicated = num_groups
+    with tracer.span("pairs.dedup", pairs=int(keys.shape[0])) as dedup_span:
+        if pruning.deduplicate:
+            unique_keys, first_index, group = np.unique(
+                keys, axis=0, return_index=True, return_inverse=True
+            )
+            group = group.ravel()
+            num_groups = int(first_index.size)
+            grouped_size_ub = _group_min(size_ub, group, num_groups)
+            grouped_error_ub = _group_min(error_ub, group, num_groups)
+            grouped_max_error_ub = _group_min(max_error_ub, group, num_groups)
+            num_parents = _distinct_parent_count(group, num_groups, left, right)
+        else:
+            unique_keys = keys
+            num_groups = int(keys.shape[0])
+            grouped_size_ub = size_ub
+            grouped_error_ub = error_ub
+            grouped_max_error_ub = max_error_ub
+            num_parents = np.full(num_groups, 2, dtype=np.int64)
+        recorder.deduplicated += num_groups
+        dedup_span.annotate(distinct=num_groups)
 
     # -- step 7: pruning per Equation 9 ---------------------------------------
-    keep_mask = np.ones(num_groups, dtype=bool)
-    if pruning.by_size:
-        size_ok = grouped_size_ub >= sigma
-        recorder.pruned_by_size += int(np.count_nonzero(keep_mask & ~size_ok))
-        keep_mask &= size_ok
-    if pruning.handle_missing_parents:
-        parents_ok = num_parents == level
-        recorder.pruned_by_parents += int(np.count_nonzero(keep_mask & ~parents_ok))
-        keep_mask &= parents_ok
-    bounds: np.ndarray | None = None
-    if pruning.by_score:
-        sc_ub = score_upper_bound(
-            grouped_size_ub,
-            grouped_error_ub,
-            grouped_max_error_ub,
-            num_rows,
-            total_error,
-            sigma,
-            alpha,
-        )
-        score_ok = (sc_ub > topk_min_score) & (sc_ub >= 0.0)
-        recorder.pruned_by_score += int(np.count_nonzero(keep_mask & ~score_ok))
-        keep_mask &= score_ok
-        bounds = sc_ub
+    with tracer.span("pairs.prune", candidates=num_groups) as prune_span:
+        keep_mask = np.ones(num_groups, dtype=bool)
+        if pruning.by_size:
+            size_ok = grouped_size_ub >= sigma
+            recorder.pruned_by_size += int(np.count_nonzero(keep_mask & ~size_ok))
+            keep_mask &= size_ok
+        if pruning.handle_missing_parents:
+            parents_ok = num_parents == level
+            recorder.pruned_by_parents += int(
+                np.count_nonzero(keep_mask & ~parents_ok)
+            )
+            keep_mask &= parents_ok
+        bounds: np.ndarray | None = None
+        if pruning.by_score:
+            sc_ub = score_upper_bound(
+                grouped_size_ub,
+                grouped_error_ub,
+                grouped_max_error_ub,
+                num_rows,
+                total_error,
+                sigma,
+                alpha,
+            )
+            score_ok = (sc_ub > topk_min_score) & (sc_ub >= 0.0)
+            dropped = int(np.count_nonzero(keep_mask & ~score_ok))
+            recorder.pruned_by_score += dropped
+            recorder.pruned_by_score_groups += dropped
+            keep_mask &= score_ok
+            bounds = sc_ub
 
-    kept = np.flatnonzero(keep_mask)
+        kept = np.flatnonzero(keep_mask)
+        prune_span.annotate(kept=int(kept.size))
     if kept.size == 0:
         return empty, None
+    recorder.candidates_emitted += int(kept.size)
+    recorder.candidates_nnz += int(kept.size) * level
     return (
         _keys_to_matrix(unique_keys[kept], level, num_cols),
         bounds[kept] if bounds is not None else None,

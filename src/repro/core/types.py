@@ -14,6 +14,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.obs.counters import CounterRegistry, LevelCounters
+from repro.obs.trace import NullTracer, Tracer
+
 
 class StatsCol(IntEnum):
     """Column layout of the slice-statistics matrix ``R`` (paper Section 4.2)."""
@@ -106,34 +109,11 @@ class Slice:
         return all(row[f] == v for f, v in self.predicates.items())
 
 
-@dataclass
-class LevelStats:
-    """Per-lattice-level enumeration statistics (Figures 3-4, Table 2)."""
-
-    level: int
-    #: pair rows generated by the self-join before any pruning/dedup
-    pairs_generated: int = 0
-    #: pair rows discarded because two predicates hit the same feature
-    invalid_feature_pairs: int = 0
-    #: distinct candidate slices after deduplication
-    deduplicated: int = 0
-    #: candidates removed by the three pruning techniques
-    pruned_by_size: int = 0
-    pruned_by_score: int = 0
-    pruned_by_parents: int = 0
-    #: candidates skipped by priority evaluation (bound fell below the
-    #: risen top-K threshold before their turn)
-    skipped_by_priority: int = 0
-    #: slice candidates actually evaluated against X
-    evaluated: int = 0
-    #: evaluated slices that satisfy ``|S| >= sigma`` (and ``se > 0``)
-    valid: int = 0
-    #: wall-clock seconds spent on this level (enumeration + evaluation)
-    elapsed_seconds: float = 0.0
-
-    @property
-    def pruned_total(self) -> int:
-        return self.pruned_by_size + self.pruned_by_score + self.pruned_by_parents
+#: Per-lattice-level enumeration statistics (Figures 3-4, Table 2).
+#: ``LevelStats`` is the historical name; the record now lives in
+#: :mod:`repro.obs.counters` where the counter registry manages it, and is
+#: re-exported here unchanged (all original field names are preserved).
+LevelStats = LevelCounters
 
 
 @dataclass
@@ -154,6 +134,12 @@ class SliceLineResult:
     num_features: int = 0
     num_onehot_columns: int = 0
     average_error: float = 0.0
+    #: the counter registry behind ``level_stats`` (always populated by
+    #: :func:`~repro.core.algorithm.slice_line`; ``None`` only for
+    #: hand-assembled results)
+    counters: CounterRegistry | None = None
+    #: the tracer the run reported spans into (``None`` when untraced)
+    trace: Tracer | NullTracer | None = None
 
     def __len__(self) -> int:
         return len(self.top_slices)
@@ -173,6 +159,16 @@ class SliceLineResult:
     @property
     def total_evaluated(self) -> int:
         return sum(ls.evaluated for ls in self.level_stats)
+
+    def to_obs_dict(self) -> dict:
+        """The run's observability document (``repro.obs/v1`` JSON schema).
+
+        Carries run metadata, the per-level pruning counters, and — when the
+        run was traced — the span tree; see EXPERIMENTS.md for the schema.
+        """
+        from repro.obs.export import run_to_dict
+
+        return run_to_dict(self)
 
     def report(
         self,

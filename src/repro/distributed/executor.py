@@ -30,10 +30,16 @@ from repro.core.types import stats_matrix
 from repro.exceptions import ExecutionError, ValidationError
 from repro.linalg import BlockedMatrix, as_csr, ensure_vector
 from repro.distributed.partition import partition_work
+from repro.obs import NULL_TRACER
 
 
 class Executor:
-    """Interface: compute the statistics matrix ``R`` for candidate slices."""
+    """Interface: compute the statistics matrix ``R`` for candidate slices.
+
+    Every implementation reports one ``executor.<name>.evaluate`` span into
+    the *tracer* (default: the shared no-op tracer) so scheduling strategies
+    can be compared through the same observability pipeline as the driver.
+    """
 
     name = "abstract"
 
@@ -44,6 +50,7 @@ class Executor:
         slices: sp.csr_matrix,
         level: int,
         alpha: float,
+        tracer=NULL_TRACER,
     ) -> np.ndarray:
         raise NotImplementedError
 
@@ -67,16 +74,21 @@ class SerialExecutor(Executor):
     block_size: int = 16
     name = "serial"
 
-    def evaluate(self, x_onehot, errors, slices, level, alpha):
+    def evaluate(self, x_onehot, errors, slices, level, alpha, tracer=NULL_TRACER):
         errors = ensure_vector(errors, x_onehot.shape[0], "errors")
         slices = as_csr(slices)
-        partials = [
-            evaluate_block(x_onehot, errors, slices[r.start : r.stop], level)
-            for r in partition_work(
-                slices.shape[0], max(1, -(-slices.shape[0] // self.block_size))
-            )
-        ]
-        return self._concat(partials, x_onehot, errors, alpha)
+        with tracer.span(
+            "executor.serial.evaluate",
+            num_slices=slices.shape[0],
+            block_size=self.block_size,
+        ):
+            partials = [
+                evaluate_block(x_onehot, errors, slices[r.start : r.stop], level)
+                for r in partition_work(
+                    slices.shape[0], max(1, -(-slices.shape[0] // self.block_size))
+                )
+            ]
+            return self._concat(partials, x_onehot, errors, alpha)
 
     def _concat(self, partials, x_onehot, errors, alpha):
         if not partials:
@@ -103,7 +115,7 @@ class MTOpsExecutor(Executor):
     num_threads: int = 4
     name = "mt-ops"
 
-    def evaluate(self, x_onehot, errors, slices, level, alpha):
+    def evaluate(self, x_onehot, errors, slices, level, alpha, tracer=NULL_TRACER):
         if self.num_threads < 1:
             raise ValidationError("num_threads must be >= 1")
         errors = ensure_vector(errors, x_onehot.shape[0], "errors")
@@ -112,45 +124,60 @@ class MTOpsExecutor(Executor):
         ranges = blocked.block_row_ranges()
         st = slices.T.tocsc()
 
-        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+        with tracer.span(
+            "executor.mt-ops.evaluate",
+            num_slices=slices.shape[0],
+            threads=self.num_threads,
+            partitions=len(blocked.blocks),
+        ), ThreadPoolExecutor(max_workers=self.num_threads) as pool:
             # Operation 1 (barrier): indicator per row partition.
             from repro.core.evaluate import indicator_equal
 
-            products = list(
-                pool.map(lambda blk: indicator_equal(blk @ st, level), blocked.blocks)
-            )
+            with tracer.span("mt-ops.indicator"):
+                products = list(
+                    pool.map(
+                        lambda blk: indicator_equal(blk @ st, level), blocked.blocks
+                    )
+                )
             # Operation 2 (barrier): partial sizes.
-            sizes = np.sum(
-                list(pool.map(lambda ind: np.asarray(ind.sum(axis=0)).ravel(), products)),
-                axis=0,
-            )
+            with tracer.span("mt-ops.sizes"):
+                sizes = np.sum(
+                    list(
+                        pool.map(
+                            lambda ind: np.asarray(ind.sum(axis=0)).ravel(), products
+                        )
+                    ),
+                    axis=0,
+                )
             # Operation 3 (barrier): partial errors.
             errs = [errors[start:stop] for start, stop in ranges]
-            slice_errors = np.sum(
-                list(
-                    pool.map(
-                        lambda pair: np.asarray(pair[0].T @ pair[1]).ravel(),
-                        zip(products, errs),
-                    )
-                ),
-                axis=0,
-            )
+            with tracer.span("mt-ops.errors"):
+                slice_errors = np.sum(
+                    list(
+                        pool.map(
+                            lambda pair: np.asarray(pair[0].T @ pair[1]).ravel(),
+                            zip(products, errs),
+                        )
+                    ),
+                    axis=0,
+                )
             # Operation 4 (barrier): partial max errors.
-            max_errors = np.max(
-                list(
-                    pool.map(
-                        lambda pair: (
-                            np.asarray(
-                                pair[0].multiply(pair[1][:, np.newaxis]).max(axis=0).todense()
-                            ).ravel()
-                            if pair[0].nnz
-                            else np.zeros(pair[0].shape[1])
-                        ),
-                        zip(products, errs),
-                    )
-                ),
-                axis=0,
-            )
+            with tracer.span("mt-ops.max_errors"):
+                max_errors = np.max(
+                    list(
+                        pool.map(
+                            lambda pair: (
+                                np.asarray(
+                                    pair[0].multiply(pair[1][:, np.newaxis]).max(axis=0).todense()
+                                ).ravel()
+                                if pair[0].nnz
+                                else np.zeros(pair[0].shape[1])
+                            ),
+                            zip(products, errs),
+                        )
+                    ),
+                    axis=0,
+                )
         return self._finalize(
             sizes, slice_errors, max_errors, x_onehot.shape[0],
             float(errors.sum()), alpha,
@@ -170,7 +197,7 @@ class MTPForExecutor(Executor):
     block_size: int = 16
     name = "mt-pfor"
 
-    def evaluate(self, x_onehot, errors, slices, level, alpha):
+    def evaluate(self, x_onehot, errors, slices, level, alpha, tracer=NULL_TRACER):
         if self.num_threads < 1:
             raise ValidationError("num_threads must be >= 1")
         errors = ensure_vector(errors, x_onehot.shape[0], "errors")
@@ -182,7 +209,12 @@ class MTPForExecutor(Executor):
         ]
         if not blocks:
             return np.zeros((0, 4))
-        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+        with tracer.span(
+            "executor.mt-pfor.evaluate",
+            num_slices=num_slices,
+            threads=self.num_threads,
+            blocks=len(blocks),
+        ), ThreadPoolExecutor(max_workers=self.num_threads) as pool:
             partials = list(
                 pool.map(lambda blk: evaluate_block(x_onehot, errors, blk, level), blocks)
             )
@@ -213,7 +245,7 @@ class DistributedPForExecutor(Executor):
     executors_per_node: int = 2
     name = "dist-pfor"
 
-    def evaluate(self, x_onehot, errors, slices, level, alpha):
+    def evaluate(self, x_onehot, errors, slices, level, alpha, tracer=NULL_TRACER):
         workers = self.num_nodes * self.executors_per_node
         if workers < 1:
             raise ExecutionError("at least one simulated worker is required")
@@ -239,7 +271,12 @@ class DistributedPForExecutor(Executor):
                 partial_max = np.zeros(indicator.shape[1])
             return partial_sizes, partial_errors, partial_max
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        with tracer.span(
+            "executor.dist-pfor.evaluate",
+            num_slices=slices.shape[0],
+            workers=workers,
+            num_nodes=self.num_nodes,
+        ), ThreadPoolExecutor(max_workers=workers) as pool:
             partials = list(pool.map(worker, zip(blocked.blocks, ranges)))
         sizes = np.sum([p[0] for p in partials], axis=0)
         slice_errors = np.sum([p[1] for p in partials], axis=0)

@@ -23,6 +23,8 @@ class EnumerationReport:
     levels: list[int] = field(default_factory=list)
     evaluated: list[int] = field(default_factory=list)
     valid: list[int] = field(default_factory=list)
+    candidates_emitted: list[int] = field(default_factory=list)
+    dedup_removed: list[int] = field(default_factory=list)
     pruned_by_size: list[int] = field(default_factory=list)
     pruned_by_score: list[int] = field(default_factory=list)
     pruned_by_parents: list[int] = field(default_factory=list)
@@ -41,6 +43,8 @@ class EnumerationReport:
             report.levels.append(ls.level)
             report.evaluated.append(ls.evaluated)
             report.valid.append(ls.valid)
+            report.candidates_emitted.append(ls.candidates_emitted)
+            report.dedup_removed.append(ls.dedup_removed)
             report.pruned_by_size.append(ls.pruned_by_size)
             report.pruned_by_score.append(ls.pruned_by_score)
             report.pruned_by_parents.append(ls.pruned_by_parents)
@@ -62,8 +66,10 @@ class EnumerationReport:
                 "dataset": self.dataset,
                 "config": self.config_label,
                 "level": self.levels[i],
+                "emitted": self.candidates_emitted[i],
                 "evaluated": self.evaluated[i],
                 "valid": self.valid[i],
+                "dups": self.dedup_removed[i],
                 "pruned_size": self.pruned_by_size[i],
                 "pruned_score": self.pruned_by_score[i],
                 "pruned_parents": self.pruned_by_parents[i],
@@ -81,9 +87,14 @@ def run_sliceline(
     dataset: str = "?",
     config_label: str = "default",
     num_threads: int = 1,
+    trace: bool | str | None = None,
 ) -> tuple[SliceLineResult, EnumerationReport]:
-    """Execute one workload and return result plus enumeration report."""
-    result = slice_line(x0, errors, config, num_threads=num_threads)
+    """Execute one workload and return result plus enumeration report.
+
+    Pass ``trace=True`` (or ``"memory"``) to attach a span trace to the
+    returned result — the report itself is built from the counters either way.
+    """
+    result = slice_line(x0, errors, config, num_threads=num_threads, trace=trace)
     return result, EnumerationReport.from_result(result, dataset, config_label)
 
 

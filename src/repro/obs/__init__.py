@@ -1,0 +1,43 @@
+"""Observability for the SliceLine search: tracing, counters, and sinks.
+
+Three pieces, all optional and zero-overhead when unused:
+
+* :mod:`repro.obs.trace` — a hierarchical wall-clock (and optionally
+  allocation) tracer the enumeration kernels and executors report into.
+* :mod:`repro.obs.counters` — the per-level search-space accounting
+  (pruning effectiveness, dedup, priority skips, sparse fill) exported on
+  every :class:`~repro.core.types.SliceLineResult`.
+* :mod:`repro.obs.export` — JSON and plain-text sinks (the ``--trace`` CLI
+  flag and the ``BENCH_obs.json`` benchmark baseline).
+"""
+
+from repro.obs.counters import CounterRegistry, LevelCounters
+from repro.obs.export import (
+    SCHEMA,
+    counters_table,
+    format_trace,
+    run_to_dict,
+    write_json,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "LevelCounters",
+    "SCHEMA",
+    "counters_table",
+    "format_trace",
+    "run_to_dict",
+    "write_json",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "resolve_tracer",
+]

@@ -62,6 +62,24 @@ class TestSliceLineFunction:
         res = slice_line(tiny_x0, np.zeros(8), SliceLineConfig(k=3, sigma=1))
         assert len(res.top_slices) == 0
 
+    def test_zero_errors_still_accounts_for_work(self, tiny_x0):
+        """Regression: the empty result used to report level_stats=[] and
+        total_seconds=0.0 even though the encoding pass over X0 ran."""
+        res = slice_line(tiny_x0, np.zeros(8), SliceLineConfig(k=3, sigma=1))
+        assert res.total_seconds > 0.0
+        assert len(res.level_stats) == 1
+        assert res.level_stats[0].level == 1
+        assert res.level_stats[0].elapsed_seconds == res.total_seconds
+        assert res.level_stats[0].evaluated == 0
+        assert res.counters is not None and res.counters.reconcile() == []
+
+    def test_zero_errors_traced(self, tiny_x0):
+        res = slice_line(
+            tiny_x0, np.zeros(8), SliceLineConfig(k=3, sigma=1), trace=True
+        )
+        assert res.trace is not None
+        assert res.trace.find("encode") is not None
+
     def test_negative_errors_rejected(self, tiny_x0):
         with pytest.raises(ShapeError):
             slice_line(tiny_x0, np.full(8, -1.0))

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import FeatureSpace, evaluate_slices
 from repro.distributed import (
@@ -17,6 +19,15 @@ from repro.distributed import (
 )
 from repro.distributed.simulate import WorkProfile
 from repro.exceptions import ExecutionError, ValidationError
+from repro.obs import Tracer
+
+#: one spec per strategy, with deliberately awkward partition counts
+ALL_EXECUTORS = [
+    ("serial", {"block_size": 8}),
+    ("mt-ops", {"num_threads": 3}),
+    ("mt-pfor", {"num_threads": 3, "block_size": 8}),
+    ("dist-pfor", {"num_nodes": 3, "executors_per_node": 2}),
+]
 
 
 @pytest.fixture
@@ -81,6 +92,68 @@ class TestExecutorsAgree:
         assert isinstance(make_executor("mt-ops"), MTOpsExecutor)
         assert isinstance(make_executor("mt-pfor"), MTPForExecutor)
         assert isinstance(make_executor("dist-pfor"), DistributedPForExecutor)
+
+    def test_each_executor_reports_a_span(self, eval_problem):
+        x, errors, slices, _ = eval_problem
+        for strategy, kwargs in ALL_EXECUTORS:
+            tracer = Tracer()
+            executor = make_executor(strategy, **kwargs)
+            executor.evaluate(x, errors, slices, 2, 0.95, tracer=tracer)
+            span = tracer.find(f"executor.{executor.name}.evaluate")
+            assert span is not None, strategy
+            assert span.elapsed_seconds > 0
+            assert span.attrs["num_slices"] == slices.shape[0]
+
+
+class TestExecutorParityProperty:
+    """Property: all four strategies produce *bitwise-identical* stats R.
+
+    Errors are drawn as dyadic rationals (multiples of 1/16) so every
+    partial sum any executor can form is exact in float64 — summation
+    order cannot perturb a single bit, which makes strict equality the
+    right assertion (scheduling must not change results at all).
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        num_slices=st.integers(1, 30),
+        level=st.integers(1, 3),
+    )
+    def test_bitwise_identical_stats(self, seed, num_slices, level):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(20, 120))
+        m = int(gen.integers(3, 6))
+        x0 = np.column_stack(
+            [gen.integers(1, int(gen.integers(2, 5)) + 1, size=n) for _ in range(m)]
+        ).astype(np.int64)
+        space = FeatureSpace.from_matrix(x0)
+        x = space.encode(x0)
+        errors = gen.integers(0, 17, size=n) / 16.0
+        if errors.sum() == 0:
+            errors[0] = 1.0
+        rows = np.zeros((num_slices, space.num_onehot))
+        for i in range(num_slices):
+            pick = gen.choice(
+                space.num_onehot,
+                size=min(level, space.num_onehot),
+                replace=False,
+            )
+            rows[i, pick] = 1
+        slices = sp.csr_matrix(rows)
+
+        results = {
+            strategy: make_executor(strategy, **kwargs).evaluate(
+                x, errors, slices, level, 0.95
+            )
+            for strategy, kwargs in ALL_EXECUTORS
+        }
+        reference = results["serial"]
+        assert reference.shape == (num_slices, 4)
+        for strategy, out in results.items():
+            assert np.array_equal(out, reference), (
+                f"{strategy} diverged from serial on seed={seed}"
+            )
 
 
 class TestClusterCostModel:
