@@ -1,0 +1,116 @@
+"""Streaming monitor throughput: rows/sec per tick, warm vs cold.
+
+Drives two :class:`~repro.streaming.SliceMonitor` instances — one
+warm-started, one cold — over the same replayed prediction-log stream and
+records per-tick latency, window throughput (rows ranked per second), and
+the enumeration work counters.  Results land in ``BENCH_stream.json`` so
+the streaming trajectory accumulates alongside ``BENCH_obs.json``.
+
+The stream uses constant-magnitude errors (every nonzero error is exactly
+1/16): with uniform ``sm`` the Equation-3 bound discriminates by error
+mass, which is the regime where seeding the previous winners actually
+prunes parents before the pair join.  Warm and cold must still agree
+bitwise on every tick — that is asserted, not assumed.
+
+Run:  pytest benchmarks/bench_stream_throughput.py --benchmark-only -s
+"""
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core import SliceLineConfig
+from repro.datasets import replay_batches
+from repro.streaming import SliceMonitor
+
+from conftest import run_once
+
+NUM_ROWS = 40_000
+BATCH_SIZE = 4_000
+WINDOW = 4
+
+
+def _stream():
+    gen = np.random.default_rng(31)
+    x0 = np.column_stack(
+        [gen.integers(1, 5, size=NUM_ROWS) for _ in range(8)]
+    ).astype(np.int64)
+    errors = (gen.random(NUM_ROWS) < 0.08).astype(np.float64) / 16.0
+    for f0, v0, f1, v1 in ((0, 1, 1, 2), (2, 3, 3, 1), (4, 2, 6, 4)):
+        errors[(x0[:, f0] == v0) & (x0[:, f1] == v1)] = 1.0 / 16.0
+    return x0, errors
+
+
+def _drive(warm_start: bool):
+    x0, errors = _stream()
+    monitor = SliceMonitor(
+        config=SliceLineConfig(k=3, sigma=max(32, BATCH_SIZE * WINDOW // 100)),
+        window_size=WINDOW,
+        policy="sliding",
+        warm_start=warm_start,
+    )
+    ticks = []
+    for batch in replay_batches(x0, errors, BATCH_SIZE):
+        monitor.ingest(batch)
+        tick = monitor.tick()
+        ticks.append(
+            {
+                "tick": tick.index,
+                "rows": tick.num_rows,
+                "seconds": tick.seconds,
+                "rows_per_second": tick.num_rows / tick.seconds,
+                "evaluated_candidates": sum(
+                    c.evaluated for c in tick.result.counters.levels
+                ),
+                "warm_hit_rate": (
+                    tick.warm_start.hit_rate
+                    if tick.warm_start is not None
+                    else None
+                ),
+            }
+        )
+    return monitor, ticks
+
+
+def test_stream_throughput_warm_vs_cold(benchmark):
+    warm_monitor, warm_ticks = _drive(warm_start=True)
+    cold_monitor, cold_ticks = run_once(benchmark, lambda: _drive(False))
+
+    # exactness first: warm and cold tick results must be bitwise identical
+    for wt, ct in zip(warm_monitor.ticks, cold_monitor.ticks):
+        assert np.array_equal(wt.result.top_stats, ct.result.top_stats)
+
+    warm_work = sum(t["evaluated_candidates"] for t in warm_ticks[1:])
+    cold_work = sum(t["evaluated_candidates"] for t in cold_ticks[1:])
+    assert warm_work < cold_work, (
+        f"warm ticks evaluated {warm_work} candidates vs cold {cold_work}"
+    )
+
+    summary = {
+        "num_rows": NUM_ROWS,
+        "batch_size": BATCH_SIZE,
+        "window_batches": WINDOW,
+        "warm": {
+            "ticks": warm_ticks,
+            "evaluated_candidates_after_first_tick": warm_work,
+            "mean_rows_per_second": float(
+                np.mean([t["rows_per_second"] for t in warm_ticks])
+            ),
+        },
+        "cold": {
+            "ticks": cold_ticks,
+            "evaluated_candidates_after_first_tick": cold_work,
+            "mean_rows_per_second": float(
+                np.mean([t["rows_per_second"] for t in cold_ticks])
+            ),
+        },
+    }
+    out = pathlib.Path(__file__).parent / "BENCH_stream.json"
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(
+        f"\nwarm {summary['warm']['mean_rows_per_second']:,.0f} rows/s "
+        f"({warm_work} candidates) vs cold "
+        f"{summary['cold']['mean_rows_per_second']:,.0f} rows/s "
+        f"({cold_work} candidates) -> {out.name}"
+    )

@@ -1,0 +1,87 @@
+"""Incremental slice monitoring over a stream of prediction-log batches.
+
+The batch algorithm answers "where does my model fail *on this dataset*";
+the streaming monitor answers "where does it fail *right now*" — it keeps
+the top-K problematic slices fresh as mini-batches arrive, warm-starting
+each re-ranking with the previous winners (provably identical results,
+less work) and raising drift signals when a tracked slice degrades.
+
+This script replays a synthetic prediction log in which one subgroup's
+error rate jumps halfway through the stream, and shows the monitor (a)
+tracking the stable problem slices, (b) flagging the jump via a Welch
+test the moment it enters the window, and (c) doing less enumeration work
+on warm ticks than a cold restart would.
+
+Run:  python examples/streaming_monitor.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import SliceMonitor
+from repro.core import SliceLineConfig
+from repro.datasets import replay_batches
+
+rng = np.random.default_rng(23)
+
+# Allow CI to shrink the workload; the behaviour is scale-free.
+num_rows = int(os.environ.get("REPRO_EXAMPLE_ROWS", 12_000))
+
+# -- a prediction log with a mid-stream regression -------------------------
+x0 = np.column_stack(
+    [
+        rng.integers(1, 5, size=num_rows),  # device     (1..4)
+        rng.integers(1, 4, size=num_rows),  # country    (1..3)
+        rng.integers(1, 6, size=num_rows),  # app ver    (1..5)
+    ]
+)
+feature_names = ["device", "country", "app_version"]
+
+errors = (rng.random(num_rows) < 0.05).astype(float)
+# a persistently weak subgroup, present from the start
+weak = (x0[:, 0] == 2) & (x0[:, 1] == 1)
+errors[weak] = (rng.random(int(weak.sum())) < 0.55).astype(float)
+# a regression shipped mid-stream: app_version=5 degrades in the second half
+shipped = (x0[:, 2] == 5) & (np.arange(num_rows) >= num_rows // 2)
+errors[shipped] = (rng.random(int(shipped.sum())) < 0.70).astype(float)
+
+# -- drive the monitor over the replayed stream ----------------------------
+monitor = SliceMonitor(
+    config=SliceLineConfig(k=3, alpha=0.95, sigma=max(32, num_rows // 200)),
+    window_size=4,
+    policy="sliding",
+)
+
+batch_size = max(200, num_rows // 12)
+for batch in replay_batches(x0, errors, batch_size, interval_seconds=60.0):
+    monitor.ingest(batch)
+    tick = monitor.tick()
+    warm = tick.warm_start
+    seeded = f", seeded {warm.requested} slices" if warm is not None else ""
+    print(
+        f"t={tick.timestamp:5.0f}s  window={tick.num_rows} rows"
+        f"  ({tick.seconds * 1000:.0f} ms{seeded})"
+    )
+    for rank, sl in enumerate(tick.top_slices, start=1):
+        print(
+            f"    #{rank} score={sl.score:+.3f} size={sl.size} "
+            f"avg_err={sl.average_error:.3f} :: {sl.describe(feature_names)}"
+        )
+    for signal in tick.degraded_slices(significance=0.01):
+        print(
+            f"    DRIFT: {signal.slice.describe(feature_names)} worsened "
+            f"{signal.baseline_mean_error:.3f} -> "
+            f"{signal.current_mean_error:.3f} (p={signal.p_value:.2g})"
+        )
+
+# -- warm vs cold: identical answers, less work ----------------------------
+warm_ticks = [t for t in monitor.ticks if t.warm_start is not None]
+if warm_ticks:
+    hit_rate = np.mean([t.warm_start.hit_rate for t in warm_ticks])
+    print(
+        f"\n{len(warm_ticks)}/{len(monitor.ticks)} ticks were warm-started; "
+        f"mean seed hit rate {hit_rate:.0%}.  Warm starts only tighten the "
+        "score-pruning threshold, so every tick above is bitwise identical "
+        "to a cold re-run on the same window."
+    )

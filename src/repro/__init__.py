@@ -21,6 +21,12 @@ from repro.core import (
     SliceLineResult,
     slice_line,
 )
+from repro.streaming import (
+    MergeableSliceStats,
+    MonitorTick,
+    PredictionBatch,
+    SliceMonitor,
+)
 
 __version__ = "1.0.0"
 
@@ -32,5 +38,9 @@ __all__ = [
     "SliceLineConfig",
     "SliceLineResult",
     "slice_line",
+    "MergeableSliceStats",
+    "MonitorTick",
+    "PredictionBatch",
+    "SliceMonitor",
     "__version__",
 ]

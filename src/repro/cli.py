@@ -4,29 +4,38 @@ Usage::
 
     python -m repro data.csv --error-column err --k 5 --alpha 0.95
     python -m repro data.csv --error-column err --drop id --numeric age,hours
+    python -m repro monitor data.csv --error-column err --batch-size 256
 
 Reads a headered CSV (no pandas required), applies the paper's
 preprocessing (categorical recoding, 10-bin equi-width binning of numeric
 columns), runs SliceLine, and prints the decoded top-K slices.  Columns are
-treated as numeric when every value parses as a float unless overridden.
+treated as numeric when every *non-empty* cell parses as a float unless
+overridden; empty cells in numeric columns become the missing code ``0``.
 
 ``--trace`` additionally prints the per-level enumeration counters and the
 span tree of the run; ``--trace-json PATH`` writes the full observability
 document (``repro.obs/v1``, see EXPERIMENTS.md) for machine consumption.
+
+The ``monitor`` subcommand replays the CSV's rows as a stream of
+mini-batches through :class:`repro.streaming.SliceMonitor`, printing the
+top-K slices and drift signals after every tick.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 
 import numpy as np
 
-from repro.core import SliceLine
+from repro.core import SliceLine, SliceLineConfig
+from repro.datasets import replay_batches
 from repro.exceptions import ReproError, ValidationError
 from repro.obs import counters_table, format_trace, write_json
 from repro.preprocessing import ColumnSpec, Preprocessor
+from repro.streaming import SliceMonitor
 
 
 def read_csv_table(path: str) -> dict[str, np.ndarray]:
@@ -51,9 +60,18 @@ def read_csv_table(path: str) -> dict[str, np.ndarray]:
 
 
 def is_numeric_column(values: np.ndarray) -> bool:
-    """True when every cell parses as a float."""
+    """True when every *non-empty* cell parses as a float.
+
+    Empty cells are the CSV's missing-value representation — they map to
+    the encoding's missing code ``0`` downstream and must not flip an
+    otherwise numeric column to categorical.  A column of only empty cells
+    carries no numeric evidence and stays categorical.
+    """
+    present = [cell for cell in values.tolist() if str(cell).strip()]
+    if not present:
+        return False
     try:
-        values.astype(np.float64)
+        np.asarray(present, dtype=np.float64)
     except ValueError:
         return False
     return True
@@ -141,11 +159,171 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_monitor_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro monitor",
+        description="Replay a CSV as a stream of mini-batches and monitor "
+        "the top-K problematic slices tick by tick.",
+    )
+    parser.add_argument("csv", help="headered CSV file with features + errors")
+    parser.add_argument(
+        "--error-column", required=True,
+        help="name of the non-negative per-row error column",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=256,
+        help="rows per replayed mini-batch (default 256)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=4,
+        help="batches per sliding window (default 4; ignored for tumbling)",
+    )
+    parser.add_argument(
+        "--policy", choices=("sliding", "tumbling"), default="sliding",
+        help="window policy (default sliding)",
+    )
+    parser.add_argument(
+        "--tick-every", type=int, default=1,
+        help="run a tick after every N ingested batches (default 1)",
+    )
+    parser.add_argument(
+        "--cold", action="store_true",
+        help="disable warm-started re-enumeration (results are identical; "
+        "this only changes the amount of work per tick)",
+    )
+    parser.add_argument("--k", type=int, default=4, help="top-K (default 4)")
+    parser.add_argument(
+        "--alpha", type=float, default=0.95,
+        help="error/size weight in (0,1] (default 0.95)",
+    )
+    parser.add_argument(
+        "--sigma", type=int, default=None,
+        help="minimum slice size (default max(32, n/100) per window)",
+    )
+    parser.add_argument(
+        "--max-level", type=int, default=None,
+        help="lattice depth cap (default: number of features)",
+    )
+    parser.add_argument(
+        "--drop", default="", help="comma-separated columns to ignore (IDs)"
+    )
+    parser.add_argument(
+        "--numeric", default="",
+        help="comma-separated columns to force equi-width binning on",
+    )
+    parser.add_argument(
+        "--categorical", default="",
+        help="comma-separated columns to force recoding on",
+    )
+    parser.add_argument(
+        "--bins", type=int, default=10,
+        help="bins per numeric column (default 10, as in the paper)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print each tick's span tree (monitor.tick and nested runs)",
+    )
+    parser.add_argument(
+        "--ticks-json", metavar="PATH", default=None,
+        help="write every tick's repro.obs/v1 document (JSON list) to PATH",
+    )
+    return parser
+
+
+def monitor_main(argv: list[str]) -> int:
+    args = build_monitor_parser().parse_args(argv)
+    try:
+        if args.batch_size < 1:
+            raise ValidationError("--batch-size must be >= 1")
+        if args.tick_every < 1:
+            raise ValidationError("--tick-every must be >= 1")
+        table = read_csv_table(args.csv)
+        if args.error_column not in table:
+            raise ValidationError(
+                f"error column {args.error_column!r} not in the CSV"
+            )
+        errors = table[args.error_column].astype(np.float64)
+        specs = build_specs(
+            table, args.error_column, _split(args.drop),
+            _split(args.numeric), _split(args.categorical), args.bins,
+        )
+        encoded = Preprocessor(specs).fit_transform(table)
+        config = SliceLineConfig(
+            k=args.k, sigma=args.sigma, alpha=args.alpha,
+            max_level=args.max_level,
+        )
+        monitor = SliceMonitor(
+            config=config,
+            window_size=args.window if args.policy == "sliding" else None,
+            policy=args.policy,
+            warm_start=not args.cold,
+            trace=True if args.trace else None,
+        )
+        pending = 0
+        for batch in replay_batches(encoded.x0, errors, args.batch_size):
+            monitor.ingest(batch)
+            pending += 1
+            if pending % args.tick_every == 0:
+                _print_tick(monitor.tick(), encoded)
+                pending = 0
+        if pending:
+            _print_tick(monitor.tick(), encoded)
+        if not monitor.ticks:
+            raise ValidationError("the CSV produced no batches to monitor")
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.trace:
+        print("trace:")
+        print(format_trace(monitor.tracer))
+    if args.ticks_json is not None:
+        try:
+            with open(args.ticks_json, "w") as handle:
+                json.dump(
+                    [tick.to_obs_dict() for tick in monitor.ticks],
+                    handle, indent=2, sort_keys=True,
+                )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"tick JSON written to {args.ticks_json}")
+    return 0
+
+
+def _print_tick(tick, encoded) -> None:
+    warm = tick.warm_start
+    warm_note = (
+        f" warm={warm.hits}/{warm.requested} seed hits" if warm is not None else ""
+    )
+    print(
+        f"tick {tick.index}: {tick.num_rows} rows in {tick.num_batches} "
+        f"batch(es), {tick.seconds:.3f}s{warm_note}"
+    )
+    if not tick.top_slices:
+        print("  no slice scores above 0 in this window")
+    for rank, sl in enumerate(tick.top_slices, start=1):
+        desc = sl.describe(encoded.feature_names, encoded.value_labels)
+        print(
+            f"  #{rank} score={sl.score:+.4f} size={sl.size} "
+            f"avg_err={sl.average_error:.4f} :: {desc}"
+        )
+    for signal in tick.degraded_slices():
+        desc = signal.slice.describe(encoded.feature_names, encoded.value_labels)
+        print(
+            f"  drift: {desc} mean error "
+            f"{signal.baseline_mean_error:.4f} -> {signal.current_mean_error:.4f} "
+            f"(p={signal.p_value:.4f})"
+        )
+
+
 def _split(arg: str) -> list[str]:
     return [part for part in arg.split(",") if part]
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "monitor":
+        return monitor_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         table = read_csv_table(args.csv)

@@ -9,8 +9,14 @@ for composition and testing.
 from repro.core.algorithm import SliceLine, slice_line
 from repro.core.basic import BasicSlices, create_and_score_basic_slices
 from repro.core.config import PruningConfig, SliceLineConfig
-from repro.core.decode import decode_topk, slice_membership
-from repro.core.evaluate import evaluate_block, evaluate_slices, indicator_equal
+from repro.core.decode import decode_topk, encode_slices, slice_membership
+from repro.core.evaluate import (
+    SliceSetStats,
+    evaluate_block,
+    evaluate_slice_set,
+    evaluate_slices,
+    indicator_equal,
+)
 from repro.core.onehot import FeatureSpace, validate_encoded_matrix
 from repro.core.pairs import get_pair_candidates
 from repro.core.scoring import (
@@ -25,6 +31,7 @@ from repro.core.types import (
     Slice,
     SliceLineResult,
     StatsCol,
+    WarmStartInfo,
     empty_stats,
     stats_matrix,
 )
@@ -37,8 +44,11 @@ __all__ = [
     "PruningConfig",
     "SliceLineConfig",
     "decode_topk",
+    "encode_slices",
     "slice_membership",
+    "SliceSetStats",
     "evaluate_block",
+    "evaluate_slice_set",
     "evaluate_slices",
     "indicator_equal",
     "FeatureSpace",
@@ -55,6 +65,7 @@ __all__ = [
     "Slice",
     "SliceLineResult",
     "StatsCol",
+    "WarmStartInfo",
     "empty_stats",
     "stats_matrix",
 ]

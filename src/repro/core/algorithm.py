@@ -12,6 +12,7 @@ interactive use (``fit`` / ``transform`` / fitted attributes).
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Sequence
 
@@ -21,12 +22,19 @@ import scipy.sparse as sp
 from repro.core.basic import create_and_score_basic_slices
 from repro.core.config import PruningConfig, SliceLineConfig
 from repro.core.decode import decode_topk, slice_membership
-from repro.core.evaluate import evaluate_slices
+from repro.core.evaluate import evaluate_slice_set, evaluate_slices
 from repro.core.onehot import FeatureSpace, validate_encoded_matrix
 from repro.core.pairs import get_pair_candidates
+from repro.core.scoring import score
 from repro.core.topk import empty_topk, maintain_topk, topk_min_score
-from repro.core.types import SliceLineResult, StatsCol
-from repro.exceptions import ShapeError
+from repro.core.types import (
+    Slice,
+    SliceLineResult,
+    StatsCol,
+    WarmStartInfo,
+    stats_matrix,
+)
+from repro.exceptions import EncodingError, ShapeError
 from repro.linalg import ensure_vector
 from repro.obs import NULL_TRACER, CounterRegistry, Tracer, resolve_tracer
 
@@ -38,6 +46,7 @@ def slice_line(
     feature_space: FeatureSpace | None = None,
     num_threads: int = 1,
     trace: bool | str | Tracer | None = None,
+    seed_slices: Sequence[Slice] | None = None,
 ) -> SliceLineResult:
     """Find the top-K problematic slices of an integer-encoded dataset.
 
@@ -67,6 +76,19 @@ def slice_line(
         Per-level pruning counters are collected regardless (they replace
         the former ad-hoc ``LevelStats`` bookkeeping) and are exported as
         ``result.counters``.
+    seed_slices:
+        Optional warm-start seeds — decoded :class:`Slice` objects from a
+        previous, related run (e.g. the prior window of a
+        :class:`~repro.streaming.SliceMonitor`).  Seeds are re-evaluated on
+        *this* dataset and merged into the initial top-K before enumeration
+        begins, which raises the score-pruning threshold earlier and skips
+        lattice subtrees a cold run would still explore.  Because
+        Equation-3 pruning is exact, the returned top-K is **identical** to
+        an unseeded run; only the amount of evaluation work changes
+        (``result.warm_start`` records seed accounting, and seed
+        evaluations are deliberately kept out of the per-level counters so
+        their flow-conservation identities stay intact).  Seeds outside the
+        current feature space's domains are ignored.
 
     Returns
     -------
@@ -124,6 +146,16 @@ def slice_line(
         space.ends, basic.selected_columns, side="right"
     ).astype(np.int64)
 
+    # -- optional warm start: merge re-scored seeds into the initial top-K ---
+    warm_info: WarmStartInfo | None = None
+    seed_keys: set[tuple[int, ...]] = set()
+    if seed_slices is not None:
+        top_slices, top_stats, warm_info, seed_keys = _seed_topk(
+            seed_slices, space, basic.selected_columns, x_projected, errors,
+            cfg, sigma, max_level, num_rows, total_error,
+            top_slices, top_stats, num_threads, tracer,
+        )
+
     # -- level-wise lattice enumeration --------------------------------------
     slices, stats = basic.slices, basic.stats
     level = 1
@@ -168,6 +200,20 @@ def slice_line(
             )
         current.elapsed_seconds = time.perf_counter() - level_started
 
+    if warm_info is not None and seed_keys:
+        top_csr = top_slices.tocsr()
+        top_keys = {
+            tuple(
+                np.sort(
+                    top_csr.indices[top_csr.indptr[i] : top_csr.indptr[i + 1]]
+                ).tolist()
+            )
+            for i in range(top_csr.shape[0])
+        }
+        warm_info = dataclasses.replace(
+            warm_info, hits=len(seed_keys & top_keys)
+        )
+
     with tracer.span("decode", top_k=int(top_slices.shape[0])):
         decoded, encoded = decode_topk(
             top_slices, top_stats, basic.selected_columns, space
@@ -184,7 +230,102 @@ def slice_line(
         average_error=average_error,
         counters=counters,
         trace=tracer if tracer.enabled else None,
+        warm_start=warm_info,
     )
+
+
+def _seed_topk(
+    seed_slices: Sequence[Slice],
+    space: FeatureSpace,
+    selected_columns: np.ndarray,
+    x_projected: sp.csr_matrix,
+    errors: np.ndarray,
+    cfg: SliceLineConfig,
+    sigma: int,
+    max_level: int,
+    num_rows: int,
+    total_error: float,
+    top_slices: sp.csr_matrix,
+    top_stats: np.ndarray,
+    num_threads: int,
+    tracer,
+) -> tuple[sp.csr_matrix, np.ndarray, WarmStartInfo, set[tuple[int, ...]]]:
+    """Re-score warm-start seeds on the current data and merge into the top-K.
+
+    Seeds are filtered, not trusted: level-1 seeds are dropped (the basic
+    pass already scores every single-predicate slice), as are seeds whose
+    predicates fall outside the current domains or reference a basic slice
+    that did not survive the sigma/error filter (by size monotonicity such a
+    seed is invalid here anyway).  Survivors are evaluated with the same
+    ``(X S^T) == L`` kernel on the same projected matrix the enumeration
+    uses, so their statistics are bitwise identical to what enumeration
+    would produce — a prerequisite for warm == cold output equality.
+    """
+    requested = len(seed_slices)
+    rows: list[np.ndarray] = []
+    keys: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    num_projected = int(selected_columns.size)
+    for slice_ in seed_slices:
+        if not 2 <= slice_.level <= max_level:
+            continue
+        try:
+            cols = np.sort(
+                np.fromiter(
+                    (
+                        space.column_of(feature, value)
+                        for feature, value in slice_.predicates.items()
+                    ),
+                    dtype=np.int64,
+                    count=slice_.level,
+                )
+            )
+        except EncodingError:
+            continue
+        projected = np.searchsorted(selected_columns, cols)
+        if (projected >= num_projected).any() or not np.array_equal(
+            selected_columns[projected], cols
+        ):
+            continue
+        key = tuple(projected.tolist())
+        if key in seen:
+            continue
+        seen.add(key)
+        keys.append(key)
+        rows.append(projected)
+    if not rows:
+        info = WarmStartInfo(requested=requested, encoded=0, valid=0, hits=0)
+        return top_slices, top_stats, info, set()
+
+    indices = np.concatenate(rows)
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum([row.size for row in rows], out=indptr[1:])
+    seed_matrix = sp.csr_matrix(
+        (np.ones(indices.size, dtype=np.float64), indices, indptr),
+        shape=(len(rows), num_projected),
+    )
+    with tracer.span("seed.evaluate", requested=requested, encoded=len(rows)):
+        raw = evaluate_slice_set(
+            x_projected, seed_matrix, errors,
+            block_size=cfg.block_size, num_threads=num_threads,
+        )
+        seed_stats = stats_matrix(
+            score(raw.sizes, raw.errors, num_rows, total_error, cfg.alpha),
+            raw.errors, raw.max_errors, raw.sizes,
+        )
+    valid = int(
+        np.count_nonzero(
+            (seed_stats[:, StatsCol.SCORE] > 0)
+            & (seed_stats[:, StatsCol.SIZE] >= sigma)
+        )
+    )
+    top_slices, top_stats = maintain_topk(
+        seed_matrix, seed_stats, top_slices, top_stats, cfg.k, sigma
+    )
+    info = WarmStartInfo(
+        requested=requested, encoded=len(rows), valid=valid, hits=0
+    )
+    return top_slices, top_stats, info, set(keys)
 
 
 def _evaluate_level(

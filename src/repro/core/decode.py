@@ -9,11 +9,14 @@ yielding both :class:`~repro.core.types.Slice` objects and the paper's
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.onehot import FeatureSpace
 from repro.core.types import Slice, StatsCol
+from repro.exceptions import EncodingError
 
 
 def decode_topk(
@@ -50,6 +53,37 @@ def decode_topk(
         )
         encoded[row] = slices[-1].encoded_row(num_features)
     return slices, encoded
+
+
+def encode_slices(
+    slices: Sequence[Slice], feature_space: FeatureSpace
+) -> sp.csr_matrix:
+    """Encode decoded slices back into one-hot row vectors (inverse decode).
+
+    Returns the ``len(slices) x num_onehot`` 0/1 CSR matrix whose row ``i``
+    has a one in the column of every ``feature == value`` predicate of
+    ``slices[i]`` — the representation :func:`~repro.core.evaluate
+    .evaluate_slice_set` consumes.  Raises
+    :class:`~repro.exceptions.EncodingError` when a predicate references a
+    feature or value outside *feature_space* (e.g. a slice found on a data
+    window whose domains exceed the current one).
+    """
+    rows: list[int] = []
+    cols: list[int] = []
+    for index, slice_ in enumerate(slices):
+        for feature, value in slice_.predicates.items():
+            if not 0 <= feature < feature_space.num_features:
+                raise EncodingError(
+                    f"slice {index} fixes feature {feature}, outside the "
+                    f"{feature_space.num_features}-feature space"
+                )
+            rows.append(index)
+            cols.append(feature_space.column_of(feature, value))
+    data = np.ones(len(rows), dtype=np.float64)
+    return sp.coo_matrix(
+        (data, (rows, cols)),
+        shape=(len(slices), feature_space.num_onehot),
+    ).tocsr()
 
 
 def slice_membership(x0: np.ndarray, slice_: Slice) -> np.ndarray:

@@ -16,15 +16,30 @@ the ``n x b`` intermediate (Figure 6(b) studies this trade-off).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from typing import NamedTuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import ValidationError
-from repro.linalg import as_csr, col_maxs, col_sums, ensure_vector
+from repro.linalg import as_csr, col_maxs, col_sums, ensure_vector, row_nnz
 from repro.core.scoring import score
 from repro.core.types import stats_matrix
 from repro.obs import NULL_TRACER
+
+
+class SliceSetStats(NamedTuple):
+    """Raw, slice-aligned statistics of a fixed slice set.
+
+    The three Equation-10 vectors — slice sizes ``|S|``, total slice errors
+    ``se``, and maximum tuple errors ``sm`` — without the derived score, so
+    callers can re-score under any ``alpha`` or merge partial results across
+    row partitions (all three are plain sums/maxes over rows).
+    """
+
+    sizes: np.ndarray
+    errors: np.ndarray
+    max_errors: np.ndarray
 
 
 def indicator_equal(product: sp.csr_matrix, level: int) -> sp.csr_matrix:
@@ -64,6 +79,100 @@ def evaluate_block(
     return sizes, slice_errors, max_errors
 
 
+def _evaluate_uniform_level(
+    x_onehot: sp.csr_matrix,
+    errors: np.ndarray,
+    slices: sp.csr_matrix,
+    level: int,
+    block_size: int,
+    num_threads: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Blocked ``(ss, se, sm)`` evaluation of same-level slices."""
+    num_slices = slices.shape[0]
+    blocks = [
+        slices[start : min(start + block_size, num_slices)]
+        for start in range(0, num_slices, block_size)
+    ]
+    if num_threads > 1 and len(blocks) > 1:
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            partials = list(
+                pool.map(
+                    lambda blk: evaluate_block(x_onehot, errors, blk, level),
+                    blocks,
+                )
+            )
+    else:
+        partials = [evaluate_block(x_onehot, errors, blk, level) for blk in blocks]
+    return (
+        np.concatenate([p[0] for p in partials]),
+        np.concatenate([p[1] for p in partials]),
+        np.concatenate([p[2] for p in partials]),
+    )
+
+
+def evaluate_slice_set(
+    x_onehot: sp.csr_matrix,
+    slices: sp.csr_matrix,
+    errors: np.ndarray,
+    block_size: int = 16,
+    num_threads: int = 1,
+) -> SliceSetStats:
+    """Evaluate a *fixed*, possibly mixed-level slice set against a dataset.
+
+    Unlike :func:`evaluate_slices` — which serves the level-wise enumeration
+    and therefore assumes every row of ``slices`` has exactly ``level``
+    predicates — this helper accepts arbitrary one-hot slice rows (the
+    projected ``S`` representation: one column per ``feature == value``
+    predicate).  Rows are grouped by predicate count and each group runs
+    through the same blocked ``(X S^T) == L`` kernel, so the returned
+    statistics are bitwise identical to what the enumeration would compute
+    for the same slices over the same rows.
+
+    An all-zero slice row (no predicates) denotes the entire dataset and
+    gets ``(n, sum(e), max(e))``.
+
+    Returns a :class:`SliceSetStats` of row-aligned ``(sizes, errors,
+    max_errors)`` vectors; combine with :func:`repro.core.scoring.score` for
+    scores under a chosen ``alpha``.  This is the membership kernel behind
+    :class:`repro.streaming.MergeableSliceStats` and a vectorized
+    replacement for per-slice :func:`~repro.core.decode.slice_membership`
+    loops.
+    """
+    if block_size < 1:
+        raise ValidationError("block_size must be >= 1")
+    num_rows = x_onehot.shape[0]
+    errors = ensure_vector(errors, num_rows, "errors")
+    slices = as_csr(slices)
+    if slices.shape[1] != x_onehot.shape[1]:
+        raise ValidationError(
+            f"slices have {slices.shape[1]} one-hot columns but the data "
+            f"matrix has {x_onehot.shape[1]}"
+        )
+    num_slices = slices.shape[0]
+    sizes = np.zeros(num_slices, dtype=np.float64)
+    slice_errors = np.zeros(num_slices, dtype=np.float64)
+    max_errors = np.zeros(num_slices, dtype=np.float64)
+    if num_slices == 0:
+        return SliceSetStats(sizes, slice_errors, max_errors)
+
+    levels = row_nnz(slices)
+    for level in np.unique(levels):
+        members = np.flatnonzero(levels == level)
+        if level == 0:
+            sizes[members] = float(num_rows)
+            slice_errors[members] = float(errors.sum())
+            max_errors[members] = float(errors.max()) if num_rows else 0.0
+            continue
+        group_sizes, group_errors, group_max = _evaluate_uniform_level(
+            x_onehot, errors, slices[members], int(level), block_size,
+            num_threads,
+        )
+        sizes[members] = group_sizes
+        slice_errors[members] = group_errors
+        max_errors[members] = group_max
+    return SliceSetStats(sizes, slice_errors, max_errors)
+
+
 def evaluate_slices(
     x_onehot: sp.csr_matrix,
     errors: np.ndarray,
@@ -96,32 +205,16 @@ def evaluate_slices(
     if num_slices == 0:
         return np.zeros((0, 4), dtype=np.float64)
 
-    blocks = [
-        slices[start : min(start + block_size, num_slices)]
-        for start in range(0, num_slices, block_size)
-    ]
+    num_blocks = -(-num_slices // block_size)
     with tracer.span(
         "evaluate.blocks",
         num_slices=num_slices,
-        blocks=len(blocks),
+        blocks=num_blocks,
         threads=num_threads,
     ):
-        if num_threads > 1 and len(blocks) > 1:
-            with ThreadPoolExecutor(max_workers=num_threads) as pool:
-                partials = list(
-                    pool.map(
-                        lambda blk: evaluate_block(x_onehot, errors, blk, level),
-                        blocks,
-                    )
-                )
-        else:
-            partials = [
-                evaluate_block(x_onehot, errors, blk, level) for blk in blocks
-            ]
-
-    sizes = np.concatenate([p[0] for p in partials])
-    slice_errors = np.concatenate([p[1] for p in partials])
-    max_errors = np.concatenate([p[2] for p in partials])
+        sizes, slice_errors, max_errors = _evaluate_uniform_level(
+            x_onehot, errors, slices, level, block_size, num_threads
+        )
     if counters is not None:
         # Every stored entry of I = (X S^T == L) is one (row, slice)
         # membership, so sum(ss) over the level IS nnz(I) — free to track.

@@ -3,8 +3,11 @@
 Once per lattice level, the newly evaluated slices are filtered by validity
 (``sc > 0`` and ``|S| >= sigma``), concatenated with the current top-K, and
 the best K are kept, sorted by descending score.  Ties are broken by larger
-size, then larger error, so results are deterministic across runs and
-platforms.
+size, then larger error, and finally — for slices whose three statistics are
+all exactly equal — by the lexicographic order of their predicate columns,
+so the selected set and its order are a pure function of the candidate
+*set*, independent of arrival order (evaluation chunking, thread count,
+executor strategy, or warm-start seeding).
 """
 
 from __future__ import annotations
@@ -44,6 +47,12 @@ def maintain_topk(
     candidates = as_csr(vstack_rows(top_slices, slices[kept]))
     candidate_stats = np.vstack([top_stats, stats[kept]])
 
+    def column_key(index: int) -> tuple[int, ...]:
+        row = candidates.indices[
+            candidates.indptr[index] : candidates.indptr[index + 1]
+        ]
+        return tuple(np.sort(row).tolist())
+
     order = np.lexsort(
         (
             -candidate_stats[:, StatsCol.ERROR],
@@ -51,6 +60,24 @@ def maintain_topk(
             -candidate_stats[:, StatsCol.SCORE],
         )
     )
+    # lexsort is stable, so slices whose (score, size, error) triples are
+    # bitwise equal still sit in arrival order — which depends on how the
+    # level was chunked/seeded.  Re-sort each run of exact ties by predicate
+    # columns so the final order is canonical; runs of length 1 (the common
+    # case) pay nothing beyond the boundary scan.
+    ranked = candidate_stats[order][
+        :, [StatsCol.SCORE, StatsCol.SIZE, StatsCol.ERROR]
+    ]
+    if order.size > 1:
+        changed = np.any(ranked[1:] != ranked[:-1], axis=1)
+        boundaries = np.concatenate(
+            [np.flatnonzero(changed) + 1, [order.size]]
+        )
+        start = 0
+        for stop in boundaries:
+            if stop - start > 1:
+                order[start:stop] = sorted(order[start:stop], key=column_key)
+            start = int(stop)
     # Walk the sorted order keeping only *distinct* slices: with
     # deduplication disabled (the Figure 3 "none" arm) the same slice can
     # reach the top-K from several generating pairs, and Definition 2 asks
@@ -58,11 +85,7 @@ def maintain_topk(
     top: list[int] = []
     seen: set[tuple[int, ...]] = set()
     for index in order:
-        key = tuple(
-            candidates.indices[
-                candidates.indptr[index] : candidates.indptr[index + 1]
-            ].tolist()
-        )
+        key = column_key(index)
         if key in seen:
             continue
         seen.add(key)

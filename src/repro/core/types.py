@@ -109,6 +109,34 @@ class Slice:
         return all(row[f] == v for f, v in self.predicates.items())
 
 
+@dataclass(frozen=True)
+class WarmStartInfo:
+    """Accounting of the seed slices a warm-started run was given.
+
+    Seeding only *raises the score-pruning threshold earlier* — pruning by
+    the Equation-3 bound is exact, so the final top-K is identical to a cold
+    run's; this record exists to observe how much enumeration work the seeds
+    saved and how many of them survived into the final top-K.
+    """
+
+    #: seed slices passed to :func:`~repro.core.algorithm.slice_line`
+    requested: int = 0
+    #: seeds encodable in the current feature space at level >= 2 (level-1
+    #: seeds are redundant — the basic-slice pass scores every single-
+    #: predicate slice anyway — and out-of-domain seeds cannot match rows)
+    encoded: int = 0
+    #: encoded seeds that were valid on this data (``|S| >= sigma``, positive
+    #: score) and therefore entered the initial top-K
+    valid: int = 0
+    #: seeds that are still present in the final top-K
+    hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requested seeds that survived into the final top-K."""
+        return self.hits / self.requested if self.requested else 0.0
+
+
 #: Per-lattice-level enumeration statistics (Figures 3-4, Table 2).
 #: ``LevelStats`` is the historical name; the record now lives in
 #: :mod:`repro.obs.counters` where the counter registry manages it, and is
@@ -140,6 +168,8 @@ class SliceLineResult:
     counters: CounterRegistry | None = None
     #: the tracer the run reported spans into (``None`` when untraced)
     trace: Tracer | NullTracer | None = None
+    #: seed accounting when the run was warm-started (``None`` for cold runs)
+    warm_start: WarmStartInfo | None = None
 
     def __len__(self) -> int:
         return len(self.top_slices)

@@ -17,6 +17,7 @@ from repro.datasets.registry import (
     dataset_summary,
     load_dataset,
 )
+from repro.datasets.replay import replay_batches, replay_dataset
 from repro.datasets.synth import (
     LabeledData,
     PlantedSlice,
@@ -35,6 +36,8 @@ __all__ = [
     "DatasetBundle",
     "dataset_summary",
     "load_dataset",
+    "replay_batches",
+    "replay_dataset",
     "LabeledData",
     "PlantedSlice",
     "correlated_group",

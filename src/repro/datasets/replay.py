@@ -1,0 +1,79 @@
+"""Stream-replay adapter: chop any dataset into timestamped mini-batches.
+
+Turns a static ``(x0, errors)`` pair — typically a registry dataset — into
+the :class:`~repro.streaming.PredictionBatch` stream a
+:class:`~repro.streaming.SliceMonitor` consumes, with synthetic event times
+at a fixed inter-batch interval.  Row order is preserved by default so a
+replayed stream concatenates back to the original dataset exactly; pass
+``shuffle=True`` (seeded) to simulate traffic that is not time-correlated
+with the original row order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets.registry import load_dataset
+from repro.exceptions import DatasetError
+from repro.streaming.batches import PredictionBatch
+
+
+def replay_batches(
+    x0: np.ndarray,
+    errors: np.ndarray,
+    batch_size: int,
+    start_time: float = 0.0,
+    interval_seconds: float = 1.0,
+    shuffle: bool = False,
+    seed: int = 0,
+) -> Iterator[PredictionBatch]:
+    """Yield consecutive :class:`PredictionBatch` chunks of ``(x0, errors)``.
+
+    Every batch has ``batch_size`` rows except possibly the last (the
+    remainder is never dropped); ``batch_id`` counts from 0 and timestamps
+    advance by *interval_seconds* per batch.
+    """
+    if batch_size < 1:
+        raise DatasetError("batch_size must be >= 1")
+    x0 = np.asarray(x0)
+    errors = np.asarray(errors, dtype=np.float64).ravel()
+    if x0.ndim != 2 or x0.shape[0] != errors.shape[0]:
+        raise DatasetError("x0 must be 2-D and row-aligned with errors")
+    order = np.arange(x0.shape[0])
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for batch_id, start in enumerate(range(0, x0.shape[0], batch_size)):
+        rows = order[start : start + batch_size]
+        yield PredictionBatch(
+            x0=x0[rows],
+            errors=errors[rows],
+            timestamp=start_time + batch_id * interval_seconds,
+            batch_id=batch_id,
+        )
+
+
+def replay_dataset(
+    name: str,
+    batch_size: int,
+    scale: float | None = None,
+    seed: int = 0,
+    start_time: float = 0.0,
+    interval_seconds: float = 1.0,
+    shuffle: bool = False,
+) -> Iterator[PredictionBatch]:
+    """Replay a registry dataset (see :func:`load_dataset`) as a stream."""
+    bundle = load_dataset(name, scale=scale, seed=seed)
+    return replay_batches(
+        bundle.x0,
+        bundle.errors,
+        batch_size,
+        start_time=start_time,
+        interval_seconds=interval_seconds,
+        shuffle=shuffle,
+        seed=seed,
+    )
+
+
+__all__ = ["replay_batches", "replay_dataset"]

@@ -16,6 +16,7 @@ We reproduce the *strategy semantics* with local executors
 cost model (:mod:`repro.distributed.simulate`).
 """
 
+from repro.distributed.accumulate import partitioned_slice_stats
 from repro.distributed.executor import (
     DistributedPForExecutor,
     Executor,
@@ -35,6 +36,7 @@ __all__ = [
     "SerialExecutor",
     "make_executor",
     "partition_work",
+    "partitioned_slice_stats",
     "ClusterCostModel",
     "ClusterSpec",
 ]

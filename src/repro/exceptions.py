@@ -33,3 +33,7 @@ class DatasetError(ReproError, RuntimeError):
 
 class ExecutionError(ReproError, RuntimeError):
     """A parallel or distributed execution backend failed."""
+
+
+class StreamingError(ReproError, RuntimeError):
+    """A streaming monitor was driven with inconsistent batches or state."""

@@ -20,6 +20,7 @@ from repro.linalg.ops import (
     remove_empty_rows,
     row_index_max,
     row_maxs,
+    row_nnz,
     row_sums,
     selection_matrix,
     upper_tri_pairs,
@@ -46,6 +47,7 @@ __all__ = [
     "remove_empty_rows",
     "row_index_max",
     "row_maxs",
+    "row_nnz",
     "row_sums",
     "selection_matrix",
     "upper_tri_pairs",

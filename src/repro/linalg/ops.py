@@ -76,6 +76,18 @@ def row_maxs(matrix: Matrix) -> np.ndarray:
     return np.asarray(matrix).max(axis=1)
 
 
+def row_nnz(matrix: Matrix) -> np.ndarray:
+    """Number of non-zero entries per row as an ``int64`` vector.
+
+    For a 0/1 candidate-slice matrix ``S`` this is the lattice level of each
+    slice (its predicate count) — what the mixed-level evaluation of
+    :func:`repro.core.evaluate.evaluate_slice_set` groups rows by.
+    """
+    if sp.issparse(matrix):
+        return np.diff(as_csr(matrix).indptr).astype(np.int64)
+    return np.count_nonzero(np.asarray(matrix), axis=1).astype(np.int64)
+
+
 def row_index_max(matrix: Matrix) -> np.ndarray:
     """Per-row index of the maximum value (``rowIndexMax``), 0-based.
 

@@ -43,6 +43,7 @@ def run_to_dict(result: Any) -> dict:
     """
     trace = getattr(result, "trace", None)
     counters = getattr(result, "counters", None)
+    warm = getattr(result, "warm_start", None)
     return {
         "schema": SCHEMA,
         "run": {
@@ -54,6 +55,17 @@ def run_to_dict(result: Any) -> dict:
             "num_top_slices": len(result.top_slices),
             "top_scores": [s.score for s in result.top_slices],
         },
+        "warm_start": (
+            {
+                "requested": warm.requested,
+                "encoded": warm.encoded,
+                "valid": warm.valid,
+                "hits": warm.hits,
+                "hit_rate": warm.hit_rate,
+            }
+            if warm is not None
+            else None
+        ),
         "counters": counters.to_dict() if counters is not None else None,
         "trace": trace.to_dict() if trace is not None else None,
     }

@@ -7,13 +7,14 @@ SliceLine consumes.  This subpackage implements those transforms with full
 metadata (feature names, value labels) and inverse mappings.
 """
 
-from repro.preprocessing.binning import EquiWidthBinner, QuantileBinner
+from repro.preprocessing.binning import EquiWidthBinner, QuantileBinner, coerce_numeric
 from repro.preprocessing.recode import Recoder
 from repro.preprocessing.pipeline import ColumnSpec, Preprocessor, EncodedDataset
 
 __all__ = [
     "EquiWidthBinner",
     "QuantileBinner",
+    "coerce_numeric",
     "Recoder",
     "ColumnSpec",
     "Preprocessor",

@@ -2,7 +2,10 @@
 
 The paper uses 10 equi-width bins per continuous feature; a quantile
 (equi-height) binner is provided as the common alternative for heavily
-skewed features.
+skewed features.  Both binners reject NaN by default; with
+``allow_missing=True`` they fit on the finite values only and transform
+NaN to code ``0``, the encoding's missing-value marker (a row with a
+missing cell then simply belongs to no slice of that feature).
 """
 
 from __future__ import annotations
@@ -12,41 +15,83 @@ import numpy as np
 from repro.exceptions import ValidationError
 
 
+def coerce_numeric(values: np.ndarray) -> np.ndarray:
+    """Parse a raw column into ``float64``, mapping empty cells to NaN.
+
+    Numeric dtypes pass through unchanged.  String columns treat ``""``
+    (or all-whitespace) cells as missing; any other cell that does not
+    parse as a float raises :class:`ValidationError` naming the value, so
+    a genuinely categorical column is never silently mangled.
+    """
+    arr = np.asarray(values).ravel()
+    if np.issubdtype(arr.dtype, np.number):
+        return arr.astype(np.float64)
+    out = np.empty(arr.shape[0], dtype=np.float64)
+    for i, cell in enumerate(arr.tolist()):
+        text = str(cell).strip()
+        if not text:
+            out[i] = np.nan
+            continue
+        try:
+            out[i] = float(text)
+        except ValueError:
+            raise ValidationError(
+                f"cell {cell!r} is not numeric (empty cells count as missing)"
+            ) from None
+    return out
+
+
+def _split_missing(values: np.ndarray, allow_missing: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(float64 array, missing mask)``; reject NaN when strict."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    missing = np.isnan(arr)
+    if missing.any() and not allow_missing:
+        raise ValidationError("binner input must not contain NaN")
+    return arr, missing
+
+
 class EquiWidthBinner:
     """Equal-width bins over the observed value range.
 
     Produces codes ``1..num_bins``.  Degenerate (constant) features map to a
     single bin.  Values outside the fitted range are clipped into the
-    boundary bins, so transform never fails on unseen data.
+    boundary bins, so transform never fails on unseen data.  With
+    ``allow_missing=True`` the range is fitted on finite values and NaN
+    transforms to the missing code ``0``.
     """
 
-    def __init__(self, num_bins: int = 10) -> None:
+    def __init__(self, num_bins: int = 10, allow_missing: bool = False) -> None:
         if num_bins < 1:
             raise ValidationError("num_bins must be >= 1")
         self.num_bins = num_bins
+        self.allow_missing = allow_missing
         self.minimum_: float | None = None
         self.maximum_: float | None = None
 
     def fit(self, values: np.ndarray) -> "EquiWidthBinner":
-        arr = np.asarray(values, dtype=np.float64).ravel()
+        arr, missing = _split_missing(values, self.allow_missing)
         if arr.size == 0:
             raise ValidationError("cannot fit a binner on an empty column")
-        if np.isnan(arr).any():
-            raise ValidationError("binner input must not contain NaN")
-        self.minimum_ = float(arr.min())
-        self.maximum_ = float(arr.max())
+        finite = arr[~missing]
+        if finite.size == 0:
+            raise ValidationError("cannot fit a binner on an all-missing column")
+        self.minimum_ = float(finite.min())
+        self.maximum_ = float(finite.max())
         return self
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         if self.minimum_ is None:
             raise RuntimeError("binner is not fitted yet")
-        arr = np.asarray(values, dtype=np.float64).ravel()
+        arr, missing = _split_missing(values, self.allow_missing)
         span = self.maximum_ - self.minimum_
         if span == 0.0:
-            return np.ones(arr.shape[0], dtype=np.int64)
-        scaled = (arr - self.minimum_) / span * self.num_bins
-        codes = np.floor(scaled).astype(np.int64) + 1
-        return np.clip(codes, 1, self.num_bins)
+            codes = np.ones(arr.shape[0], dtype=np.int64)
+        else:
+            scaled = (np.where(missing, 0.0, arr) - self.minimum_) / span
+            codes = np.floor(scaled * self.num_bins).astype(np.int64) + 1
+            codes = np.clip(codes, 1, self.num_bins)
+        codes[missing] = 0
+        return codes
 
     def fit_transform(self, values: np.ndarray) -> np.ndarray:
         return self.fit(values).transform(values)
@@ -66,32 +111,38 @@ class QuantileBinner:
     """Equi-height bins: roughly equal row counts per bin.
 
     Bin edges are the empirical quantiles; duplicate edges (heavy ties) are
-    collapsed, so fewer than ``num_bins`` distinct codes can result.
+    collapsed, so fewer than ``num_bins`` distinct codes can result.  With
+    ``allow_missing=True`` the quantiles are fitted on finite values and
+    NaN transforms to the missing code ``0``.
     """
 
-    def __init__(self, num_bins: int = 10) -> None:
+    def __init__(self, num_bins: int = 10, allow_missing: bool = False) -> None:
         if num_bins < 1:
             raise ValidationError("num_bins must be >= 1")
         self.num_bins = num_bins
+        self.allow_missing = allow_missing
         self.edges_: np.ndarray | None = None
 
     def fit(self, values: np.ndarray) -> "QuantileBinner":
-        arr = np.asarray(values, dtype=np.float64).ravel()
+        arr, missing = _split_missing(values, self.allow_missing)
         if arr.size == 0:
             raise ValidationError("cannot fit a binner on an empty column")
-        if np.isnan(arr).any():
-            raise ValidationError("binner input must not contain NaN")
+        finite = arr[~missing]
+        if finite.size == 0:
+            raise ValidationError("cannot fit a binner on an all-missing column")
         quantiles = np.linspace(0.0, 1.0, self.num_bins + 1)
-        self.edges_ = np.unique(np.quantile(arr, quantiles))
+        self.edges_ = np.unique(np.quantile(finite, quantiles))
         return self
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         if self.edges_ is None:
             raise RuntimeError("binner is not fitted yet")
-        arr = np.asarray(values, dtype=np.float64).ravel()
+        arr, missing = _split_missing(values, self.allow_missing)
         inner_edges = self.edges_[1:-1]
-        codes = np.searchsorted(inner_edges, arr, side="right") + 1
-        return codes.astype(np.int64)
+        codes = np.searchsorted(inner_edges, np.where(missing, 0.0, arr), side="right") + 1
+        codes = codes.astype(np.int64)
+        codes[missing] = 0
+        return codes
 
     def fit_transform(self, values: np.ndarray) -> np.ndarray:
         return self.fit(values).transform(values)

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.onehot import FeatureSpace
 from repro.exceptions import ValidationError
-from repro.preprocessing.binning import EquiWidthBinner, QuantileBinner
+from repro.preprocessing.binning import EquiWidthBinner, QuantileBinner, coerce_numeric
 from repro.preprocessing.recode import Recoder
 
 #: Paper default: continuous features are binned into 10 equi-width bins.
@@ -106,9 +106,13 @@ class Preprocessor:
             if spec.kind == "categorical":
                 self._encoders[spec.name] = Recoder().fit(column)
             elif spec.kind == "numeric":
-                self._encoders[spec.name] = EquiWidthBinner(spec.num_bins).fit(column)
+                self._encoders[spec.name] = EquiWidthBinner(
+                    spec.num_bins, allow_missing=True
+                ).fit(coerce_numeric(column))
             elif spec.kind == "numeric_quantile":
-                self._encoders[spec.name] = QuantileBinner(spec.num_bins).fit(column)
+                self._encoders[spec.name] = QuantileBinner(
+                    spec.num_bins, allow_missing=True
+                ).fit(coerce_numeric(column))
             elif spec.kind == "integer":
                 self._validate_integer_column(column, spec.name)
                 self._encoders[spec.name] = None
@@ -128,7 +132,7 @@ class Preprocessor:
                 codes = encoder.transform(raw)
                 labels.append(tuple(encoder.value_labels()))
             elif spec.kind in ("numeric", "numeric_quantile"):
-                codes = encoder.transform(raw)
+                codes = encoder.transform(coerce_numeric(raw))
                 if spec.kind == "numeric":
                     labels.append(tuple(encoder.bin_labels()))
                 else:

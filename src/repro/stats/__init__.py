@@ -7,7 +7,13 @@ Both are implemented here on plain numpy (scipy only supplies the Student-t
 CDF special function).
 """
 
-from repro.stats.welch import WelchResult, welch_t_test
+from repro.stats.welch import WelchResult, welch_t_test, welch_t_test_from_stats
 from repro.stats.effect_size import cohens_d, effect_size
 
-__all__ = ["WelchResult", "welch_t_test", "cohens_d", "effect_size"]
+__all__ = [
+    "WelchResult",
+    "welch_t_test",
+    "welch_t_test_from_stats",
+    "cohens_d",
+    "effect_size",
+]

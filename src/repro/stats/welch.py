@@ -22,6 +22,44 @@ class WelchResult:
         return self.p_value < alpha
 
 
+def welch_t_test_from_stats(
+    mean_a: float,
+    var_a: float,
+    num_a: int,
+    mean_b: float,
+    var_b: float,
+    num_b: int,
+) -> WelchResult:
+    """One-sided Welch t-test (``mean(a) > mean(b)``) from summary statistics.
+
+    Welch's statistic only depends on each sample through ``(mean, sample
+    variance, n)``, so the test can run on merged streaming accumulators
+    without ever materializing the raw observations (variances use the
+    ``ddof=1`` convention, matching :func:`welch_t_test` on raw samples).
+    """
+    num_a, num_b = int(num_a), int(num_b)
+    if num_a < 2 or num_b < 2:
+        raise ValidationError("welch_t_test requires >= 2 observations per sample")
+    if var_a < 0 or var_b < 0:
+        raise ValidationError("sample variances must be non-negative")
+
+    pooled = var_a / num_a + var_b / num_b
+    if pooled == 0.0:
+        if mean_a > mean_b:
+            return WelchResult(np.inf, float(num_a + num_b - 2), 0.0)
+        return WelchResult(
+            0.0 if mean_a == mean_b else -np.inf, float(num_a + num_b - 2), 1.0
+        )
+
+    statistic = (mean_a - mean_b) / np.sqrt(pooled)
+    df_num = pooled**2
+    df_den = (var_a / num_a) ** 2 / (num_a - 1) + (var_b / num_b) ** 2 / (num_b - 1)
+    dof = df_num / df_den if df_den > 0 else float(num_a + num_b - 2)
+    # One-sided p-value: P(T >= statistic) under Student-t with `dof`.
+    p_value = float(1.0 - stdtr(dof, statistic))
+    return WelchResult(float(statistic), float(dof), p_value)
+
+
 def welch_t_test(sample_a: np.ndarray, sample_b: np.ndarray) -> WelchResult:
     """One-sided Welch t-test for ``mean(a) > mean(b)``.
 
@@ -34,21 +72,7 @@ def welch_t_test(sample_a: np.ndarray, sample_b: np.ndarray) -> WelchResult:
     b = np.asarray(sample_b, dtype=np.float64).ravel()
     if a.size < 2 or b.size < 2:
         raise ValidationError("welch_t_test requires >= 2 observations per sample")
-
-    mean_a, mean_b = a.mean(), b.mean()
-    var_a = a.var(ddof=1)
-    var_b = b.var(ddof=1)
-    pooled = var_a / a.size + var_b / b.size
-
-    if pooled == 0.0:
-        if mean_a > mean_b:
-            return WelchResult(np.inf, float(a.size + b.size - 2), 0.0)
-        return WelchResult(0.0 if mean_a == mean_b else -np.inf, float(a.size + b.size - 2), 1.0)
-
-    statistic = (mean_a - mean_b) / np.sqrt(pooled)
-    df_num = pooled**2
-    df_den = (var_a / a.size) ** 2 / (a.size - 1) + (var_b / b.size) ** 2 / (b.size - 1)
-    dof = df_num / df_den if df_den > 0 else float(a.size + b.size - 2)
-    # One-sided p-value: P(T >= statistic) under Student-t with `dof`.
-    p_value = float(1.0 - stdtr(dof, statistic))
-    return WelchResult(float(statistic), float(dof), p_value)
+    return welch_t_test_from_stats(
+        float(a.mean()), float(a.var(ddof=1)), a.size,
+        float(b.mean()), float(b.var(ddof=1)), b.size,
+    )

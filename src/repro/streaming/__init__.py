@@ -1,0 +1,47 @@
+"""Incremental slice monitoring over prediction-log mini-batches.
+
+SliceLine's slice statistics (size, total error, max error — Section 2.2)
+are all sums/maxes over rows, hence *exactly* mergeable across mini-batches.
+This subpackage exploits that to keep top-K problematic slices fresh under
+continuous traffic:
+
+- :class:`PredictionBatch` / :func:`concat_batches` — the streaming unit;
+- :class:`MergeableSliceStats` — associative per-slice accumulator whose
+  ``merge()`` equals batch recomputation;
+- :class:`StreamWindow` — sliding/tumbling ring buffer of batches with
+  subtract-free eviction;
+- :class:`SliceMonitor` / :class:`MonitorTick` — the tick driver: drift
+  signals on tracked slices, then warm-started re-enumeration that is
+  provably identical to a cold :func:`repro.core.slice_line` run on the
+  concatenated window;
+- :class:`DriftSignal` / :func:`drift_signals` — per-slice score deltas and
+  Welch tests from summary statistics;
+- :func:`expand_seed_slices` — previous top-K plus lattice ancestors as
+  warm-start seeds.
+
+See :func:`repro.datasets.replay_batches` for replaying any registered
+dataset as a stream, and ``python -m repro monitor`` for the CLI front-end.
+"""
+
+from repro.streaming.accumulator import MergeableSliceStats, merge_stats
+from repro.streaming.batches import PredictionBatch, concat_batches
+from repro.streaming.drift import DriftSignal, drift_signals
+from repro.streaming.monitor import MonitorTick, SliceMonitor
+from repro.streaming.warmstart import ancestor_slices, expand_seed_slices
+from repro.streaming.window import WINDOW_POLICIES, StreamWindow, WindowEntry
+
+__all__ = [
+    "MergeableSliceStats",
+    "merge_stats",
+    "PredictionBatch",
+    "concat_batches",
+    "DriftSignal",
+    "drift_signals",
+    "MonitorTick",
+    "SliceMonitor",
+    "ancestor_slices",
+    "expand_seed_slices",
+    "WINDOW_POLICIES",
+    "StreamWindow",
+    "WindowEntry",
+]

@@ -1,0 +1,68 @@
+"""Warm-start seed expansion: previous top-K plus all lattice ancestors.
+
+Seeding a tick's enumeration with the previous window's winners raises the
+score-pruning threshold before level 2 even starts; adding their *ancestors*
+(every proper non-empty predicate subset) matters because a slice that slips
+out of the top-K between ticks is usually replaced by a sibling reachable
+through a shared ancestor — re-scoring the ancestors keeps those subtrees
+alive in the priority order.  Exactness is untouched either way: seeds only
+ever tighten the threshold, and Equation-3 pruning against a tightened
+threshold is still exact (see :func:`repro.core.slice_line`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.core.types import Slice
+
+
+def ancestor_slices(slice_: Slice) -> list[Slice]:
+    """Every proper, non-empty predicate subset of *slice_*, as fresh slices.
+
+    Returned ancestors carry zero statistics — the seeded run re-evaluates
+    every seed on the current window anyway, so stale stats never leak.
+    Order is deterministic: ascending subset size, then lexicographic by the
+    (sorted) predicate items.
+    """
+    items = sorted(slice_.predicates.items())
+    ancestors: list[Slice] = []
+    for subset_size in range(1, len(items)):
+        for combo in combinations(items, subset_size):
+            ancestors.append(
+                Slice(
+                    predicates=dict(combo),
+                    score=0.0,
+                    error=0.0,
+                    max_error=0.0,
+                    size=0,
+                )
+            )
+    return ancestors
+
+
+def expand_seed_slices(slices: Sequence[Slice]) -> list[Slice]:
+    """Deduplicated union of *slices* and all their ancestors.
+
+    Originals come first (stats intact), ancestors after, both in
+    deterministic order; duplicates — shared ancestors, or an original that
+    is itself an ancestor of another — are kept once, first occurrence wins.
+    """
+    expanded: list[Slice] = []
+    seen: set[frozenset] = set()
+    for slice_ in slices:
+        key = frozenset(slice_.predicates.items())
+        if key and key not in seen:
+            seen.add(key)
+            expanded.append(slice_)
+    for slice_ in slices:
+        for ancestor in ancestor_slices(slice_):
+            key = frozenset(ancestor.predicates.items())
+            if key not in seen:
+                seen.add(key)
+                expanded.append(ancestor)
+    return expanded
+
+
+__all__ = ["ancestor_slices", "expand_seed_slices"]

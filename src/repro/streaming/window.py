@@ -1,0 +1,108 @@
+"""Windowing over prediction-log batches: ring buffer + subtract-free merge.
+
+The window is a deque of live batches, each optionally carrying a cached
+batch-level :class:`~repro.streaming.accumulator.MergeableSliceStats` for the
+currently tracked slice set.  Eviction never *subtracts* a batch's statistics
+from a running total — floating-point subtraction would reintroduce rounding
+drift and break the exactness oracle; instead, window-level statistics are
+always re-merged from the live batch accumulators, which is cheap because
+each batch's accumulator is computed once per tracked-set version and then
+reused until the batch falls out of the window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import StreamingError
+from repro.streaming.accumulator import MergeableSliceStats
+from repro.streaming.batches import PredictionBatch, concat_batches
+
+#: supported eviction policies
+WINDOW_POLICIES = ("sliding", "tumbling")
+
+
+@dataclass
+class WindowEntry:
+    """A live batch plus its cached tracked-slice accumulator.
+
+    ``version`` tags which tracked-slice set the cached accumulator was
+    evaluated for; the monitor bumps its version whenever the tracked set
+    rotates, invalidating every cache at once without touching the entries.
+    """
+
+    batch: PredictionBatch
+    accumulator: MergeableSliceStats | None = None
+    version: int = -1
+
+
+@dataclass
+class StreamWindow:
+    """Ring buffer of live batches under a sliding or tumbling policy.
+
+    Sliding windows hold the ``size`` most recent batches (pushing the
+    ``size+1``-th evicts the oldest); tumbling windows grow until the monitor
+    consumes and :meth:`clear`-s them.  Feature count must stay constant
+    across the stream.
+    """
+
+    size: int | None = None
+    policy: str = "sliding"
+    entries: deque = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.policy not in WINDOW_POLICIES:
+            raise StreamingError(
+                f"unknown window policy {self.policy!r}; "
+                f"expected one of {WINDOW_POLICIES}"
+            )
+        if self.policy == "sliding":
+            if self.size is None or self.size < 1:
+                raise StreamingError("sliding windows need size >= 1")
+        elif self.size is not None:
+            raise StreamingError("tumbling windows are unbounded; omit size")
+
+    def push(self, batch: PredictionBatch) -> list[WindowEntry]:
+        """Append *batch*; returns the entries evicted by a sliding window."""
+        if self.entries and batch.num_features != self.num_features:
+            raise StreamingError(
+                f"batch {batch.batch_id} has {batch.num_features} features "
+                f"but the window holds {self.num_features}-feature batches"
+            )
+        self.entries.append(WindowEntry(batch=batch))
+        evicted: list[WindowEntry] = []
+        if self.policy == "sliding":
+            while len(self.entries) > self.size:
+                evicted.append(self.entries.popleft())
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every live batch (tumbling consumption)."""
+        self.entries.clear()
+
+    def concat(self) -> tuple[np.ndarray, np.ndarray]:
+        """The live window as one ``(x0, errors)`` pair, in ingestion order."""
+        return concat_batches([entry.batch for entry in self.entries])
+
+    @property
+    def num_features(self) -> int:
+        if not self.entries:
+            raise StreamingError("empty window has no feature count")
+        return self.entries[0].batch.num_features
+
+    @property
+    def num_rows(self) -> int:
+        return sum(entry.batch.num_rows for entry in self.entries)
+
+    @property
+    def batches(self) -> list[PredictionBatch]:
+        return [entry.batch for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+__all__ = ["StreamWindow", "WindowEntry", "WINDOW_POLICIES"]

@@ -108,3 +108,108 @@ class TestMain:
         rc = main([str(path), "--error-column", "err", "--sigma", "10"])
         assert rc == 0
         assert "no slice scores above 0" in capsys.readouterr().out
+
+
+@pytest.fixture
+def blank_cell_csv(tmp_path, rng):
+    """Numeric column with scattered empty cells + a planted slice."""
+    n = 600
+    city = rng.choice(["a", "b", "c"], size=n)
+    plan = rng.choice(["basic", "pro"], size=n)
+    age = rng.uniform(18, 80, size=n)
+    blank = rng.random(n) < 0.08
+    err = (rng.random(n) < 0.05).astype(float)
+    err[(city == "b") & (plan == "basic")] = 1.0
+    path = tmp_path / "blanks.csv"
+    with open(path, "w") as handle:
+        handle.write("city,plan,age,err\n")
+        for i in range(n):
+            cell = "" if blank[i] else f"{age[i]:.2f}"
+            handle.write(f"{city[i]},{plan[i]},{cell},{err[i]}\n")
+    return str(path)
+
+
+class TestBlankNumericCells:
+    """Regression: an empty cell must not flip a numeric column to
+    categorical — it is a missing value and maps to code 0."""
+
+    def test_blank_cells_do_not_break_numeric_inference(self):
+        assert is_numeric_column(np.array(["1.5", "", "2", "  "]))
+        assert not is_numeric_column(np.array(["1.5", "", "x"]))
+        # a column of only blanks carries no numeric evidence
+        assert not is_numeric_column(np.array(["", "", ""]))
+
+    def test_kind_inferred_numeric_despite_blanks(self, blank_cell_csv):
+        table = read_csv_table(blank_cell_csv)
+        specs = {
+            s.name: s.kind for s in build_specs(table, "err", [], [], [], 10)
+        }
+        assert specs["age"] == "numeric"
+
+    def test_end_to_end_with_blank_cells(self, blank_cell_csv, capsys):
+        rc = main([
+            blank_cell_csv, "--error-column", "err", "--k", "3", "--sigma", "20",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "city=b" in out and "plan=basic" in out
+
+    def test_blank_cells_encode_as_missing(self, blank_cell_csv):
+        from repro.preprocessing import ColumnSpec, Preprocessor
+
+        table = read_csv_table(blank_cell_csv)
+        specs = build_specs(table, "err", [], [], [], 10)
+        encoded = Preprocessor(specs).fit_transform(table)
+        age_col = encoded.feature_names.index("age")
+        codes = encoded.x0[:, age_col]
+        blanks = np.array([not str(v).strip() for v in table["age"]])
+        assert (codes[blanks] == 0).all()
+        assert (codes[~blanks] >= 1).all()
+
+
+class TestMonitorSubcommand:
+    def test_monitor_end_to_end(self, csv_file, capsys, tmp_path):
+        ticks_path = str(tmp_path / "ticks.json")
+        rc = main([
+            "monitor", csv_file, "--error-column", "err",
+            "--drop", "row_id", "--batch-size", "200", "--window", "2",
+            "--k", "3", "--sigma", "20", "--ticks-json", ticks_path,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tick 0:" in out and "tick 3:" in out
+        assert "city=b" in out and "plan=basic" in out
+        import json
+
+        with open(ticks_path) as handle:
+            docs = json.load(handle)
+        assert len(docs) == 4
+        assert all(doc["schema"] == "repro.obs/v1" for doc in docs)
+        assert docs[-1]["monitor"]["tick"] == 3
+        # warm-started ticks report their seed bookkeeping
+        assert docs[-1]["warm_start"] is not None
+
+    def test_monitor_cold_flag_matches_warm(self, csv_file, capsys):
+        rc = main([
+            "monitor", csv_file, "--error-column", "err", "--drop", "row_id",
+            "--batch-size", "200", "--window", "2", "--sigma", "20", "--cold",
+        ])
+        assert rc == 0
+        assert "warm=" not in capsys.readouterr().out
+
+    def test_monitor_tumbling_policy(self, csv_file, capsys):
+        rc = main([
+            "monitor", csv_file, "--error-column", "err", "--drop", "row_id",
+            "--batch-size", "200", "--policy", "tumbling",
+            "--tick-every", "2", "--sigma", "10",
+        ])
+        assert rc == 0
+        assert "batch(es)" in capsys.readouterr().out
+
+    def test_monitor_bad_inputs(self, csv_file, capsys):
+        assert main(["monitor", csv_file, "--error-column", "nope"]) == 2
+        assert main([
+            "monitor", csv_file, "--error-column", "err", "--batch-size", "0",
+        ]) == 2
+        assert main(["monitor", "/does/not/exist.csv", "--error-column", "e"]) == 2
+        capsys.readouterr()

@@ -192,3 +192,79 @@ class TestClusterCostModel:
     def test_invalid_cluster(self):
         with pytest.raises(ValidationError):
             ClusterSpec(num_nodes=0)
+
+
+class TestTopKTieBreakDeterminism:
+    """Equal-score slices must rank identically however the stats were made.
+
+    Perfectly correlated (duplicated) features make the slices ``F_i = v``
+    carry bitwise-equal (score, size, error) triples for every feature
+    ``i`` — including positive-score winners — so the top-K order is decided
+    purely by the tie-break.  Whatever executor strategy or thread count
+    produced the stats matrix — and however the candidate rows were permuted
+    on arrival — ``maintain_topk`` must return one canonical ranking.
+    """
+
+    def _problem(self):
+        from repro.core import FeatureSpace
+
+        reps, d, m = 30, 4, 3
+        base = (np.arange(reps * d) % d + 1).astype(np.int64)
+        x0 = np.column_stack([base] * m)
+        errors = (base == 1).astype(np.float64) / 16.0
+        space = FeatureSpace.from_matrix(x0)
+        x = space.encode(x0)
+        slices = sp.identity(space.num_onehot, format="csr")
+        return x, errors, slices, d, m
+
+    def test_identical_ranking_across_executors_and_threads(self):
+        from repro.core.topk import empty_topk, maintain_topk
+
+        x, errors, slices, _, _ = self._problem()
+        sweeps = ALL_EXECUTORS + [
+            ("mt-pfor", {"num_threads": 1, "block_size": 4}),
+            ("mt-pfor", {"num_threads": 5, "block_size": 2}),
+        ]
+        rankings = []
+        permutations = [
+            np.arange(slices.shape[0]),
+            np.arange(slices.shape[0])[::-1].copy(),
+            np.random.default_rng(17).permutation(slices.shape[0]),
+        ]
+        for (strategy, kwargs), perm in zip(
+            sweeps * len(permutations), permutations * len(sweeps)
+        ):
+            stats = make_executor(strategy, **kwargs).evaluate(
+                x, errors, slices, 1, 0.95
+            )
+            shuffled = sp.csr_matrix(slices.toarray()[perm])
+            empty_s, empty_r = empty_topk(slices.shape[1])
+            top_slices, top_stats = maintain_topk(
+                shuffled, stats[perm], empty_s, empty_r, k=6, sigma=1
+            )
+            rankings.append(
+                (top_slices.toarray().tolist(), top_stats.tolist())
+            )
+        reference = rankings[0]
+        for ranking in rankings[1:]:
+            assert ranking == reference
+
+    def test_exact_ties_ranked_by_predicate_columns(self):
+        from repro.core.topk import empty_topk, maintain_topk
+
+        x, errors, slices, d, m = self._problem()
+        stats = make_executor("serial").evaluate(x, errors, slices, 1, 0.95)
+        # the m duplicated features give m bitwise-identical positive rows
+        # (the slices F_i = 1); the canonical order among them is ascending
+        # one-hot column index, whatever the arrival order was
+        winners = [i * d for i in range(m)]
+        assert len({tuple(stats[i].tolist()) for i in winners}) == 1
+        assert stats[winners[0], 0] > 0
+        empty_s, empty_r = empty_topk(slices.shape[1])
+        top_slices, _ = maintain_topk(
+            sp.csr_matrix(slices.toarray()[::-1].copy()), stats[::-1],
+            empty_s, empty_r, k=m, sigma=1,
+        )
+        assert [row.indices.tolist() for row in top_slices] == [
+            [col] for col in winners
+        ]

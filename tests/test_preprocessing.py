@@ -172,3 +172,69 @@ class TestPreprocessor:
         specs = [ColumnSpec("age", "numeric_quantile", num_bins=4)]
         encoded = Preprocessor(specs).fit_transform(table)
         assert encoded.x0.max() <= 4
+
+
+class TestMissingValueBinning:
+    """Opt-in NaN handling: fit on finite values, transform NaN -> code 0."""
+
+    def test_coerce_numeric_maps_blanks_to_nan(self):
+        from repro.preprocessing import coerce_numeric
+
+        out = coerce_numeric(np.array(["1.5", "", "2", "  "]))
+        assert out[0] == 1.5 and out[2] == 2.0
+        assert np.isnan(out[1]) and np.isnan(out[3])
+
+    def test_coerce_numeric_passes_numeric_dtypes_through(self):
+        from repro.preprocessing import coerce_numeric
+
+        values = np.array([1.0, np.nan, 3.0])
+        assert np.array_equal(coerce_numeric(values), values, equal_nan=True)
+
+    def test_coerce_numeric_rejects_unparseable(self):
+        from repro.preprocessing import coerce_numeric
+
+        with pytest.raises(ValidationError):
+            coerce_numeric(np.array(["1.5", "abc"]))
+
+    @pytest.mark.parametrize("binner_cls", [EquiWidthBinner, QuantileBinner])
+    def test_nan_becomes_missing_code(self, binner_cls):
+        values = np.array([1.0, np.nan, 5.0, 3.0, np.nan])
+        binner = binner_cls(num_bins=4, allow_missing=True)
+        codes = binner.fit_transform(values)
+        assert codes[1] == 0 and codes[4] == 0
+        assert (codes[[0, 2, 3]] >= 1).all()
+
+    @pytest.mark.parametrize("binner_cls", [EquiWidthBinner, QuantileBinner])
+    def test_fit_ignores_nan(self, binner_cls):
+        with_nan = np.array([0.0, np.nan, 10.0])
+        without = np.array([0.0, 10.0])
+        probe = np.array([0.0, 5.0, 10.0])
+        a = binner_cls(num_bins=2, allow_missing=True).fit(with_nan)
+        b = binner_cls(num_bins=2, allow_missing=True).fit(without)
+        assert np.array_equal(a.transform(probe), b.transform(probe))
+
+    @pytest.mark.parametrize("binner_cls", [EquiWidthBinner, QuantileBinner])
+    def test_strict_default_still_rejects_nan(self, binner_cls):
+        with pytest.raises(ValidationError):
+            binner_cls(3).fit(np.array([1.0, np.nan]))
+        fitted = binner_cls(3).fit(np.array([1.0, 2.0]))
+        with pytest.raises(ValidationError):
+            fitted.transform(np.array([np.nan]))
+
+    @pytest.mark.parametrize("binner_cls", [EquiWidthBinner, QuantileBinner])
+    def test_all_missing_column_rejected(self, binner_cls):
+        with pytest.raises(ValidationError):
+            binner_cls(3, allow_missing=True).fit(np.array([np.nan, np.nan]))
+
+    def test_pipeline_encodes_missing_as_zero(self):
+        table = {
+            "age": np.array(["23", "", "54", "41", ""]),
+            "job": np.array(["a", "b", "a", "b", "a"]),
+        }
+        specs = [ColumnSpec("age", "numeric", num_bins=3), ColumnSpec("job")]
+        encoded = Preprocessor(specs).fit_transform(table)
+        age = encoded.x0[:, encoded.feature_names.index("age")]
+        assert age[1] == 0 and age[4] == 0
+        assert (age[[0, 2, 3]] >= 1).all()
+        # the feature space still validates (0 = missing is allowed)
+        assert encoded.feature_space.num_onehot >= 3
