@@ -1,0 +1,144 @@
+"""Per-level compaction: measured end-to-end speedup behind an exactness gate.
+
+Compaction (dropping one-hot columns no candidate references and rows that
+matched no previous-level slice before each level's ``(X S^T) == L``
+kernel) is a pure performance optimization, so this bench asserts only
+what must always hold — *bitwise identical* output with compaction on and
+off — and **reports** the measured numbers: end-to-end speedup plus the
+per-level rows/cols-retained ratios and ``level{L}.evaluate`` kernel
+seconds that explain it.  Speedup itself is not asserted (it depends on
+how much the workload's lattice actually prunes); the shapes are recorded
+to ``benchmarks/BENCH_compaction.json`` for comparison across machines.
+
+Workloads: ``kdd98`` (the feature-rich replica — 100 features, widest
+one-hot space, where column compaction matters most) and ``adult`` (the
+paper's canonical debugging workload).
+"""
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.core import slice_line
+from repro.experiments import bench_config
+
+from conftest import bench_dataset, run_once
+
+#: override with a comma-separated list (the CI smoke runs just ``adult``)
+WORKLOADS = tuple(
+    os.environ.get("BENCH_COMPACTION_WORKLOADS", "kdd98,adult").split(",")
+)
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_compaction.json"
+#: timing samples per arm; arms are interleaved (on, off, on, off, ...) so
+#: thermal drift hits both equally, and the min per arm is reported
+SAMPLES = 2
+
+
+def _assert_bitwise_identical(on, off, name):
+    assert np.array_equal(on.top_stats, off.top_stats), name
+    assert np.array_equal(on.top_slices_encoded, off.top_slices_encoded), name
+    assert [s.predicates for s in on.top_slices] == [
+        s.predicates for s in off.top_slices
+    ], name
+
+
+def _evaluate_seconds(result):
+    """``level -> level{L}.evaluate span seconds`` for one traced run."""
+    out = {}
+    for record in result.counters.levels:
+        span = result.trace.find(f"level{record.level}.evaluate")
+        if span is not None:
+            out[record.level] = span.elapsed_seconds
+    return out
+
+
+def _bench_workload(name):
+    bundle = bench_dataset(name)
+    cfg = bench_config(name, bundle.num_rows)
+
+    def run(compaction, trace=None):
+        return slice_line(
+            bundle.x0, bundle.errors,
+            cfg.with_overrides(compaction=compaction),
+            num_threads=1, trace=trace,
+        )
+
+    # Traced pair: the exactness gate + per-level kernel spans.
+    traced_on = run(True, trace=True)
+    traced_off = run(False, trace=True)
+    _assert_bitwise_identical(traced_on, traced_off, name)
+
+    # Untraced pairs: the end-to-end timing, arms interleaved per round.
+    # Sub-second workloads get extra rounds — the min is noise-dominated
+    # otherwise — while the expensive ones stay at SAMPLES rounds.
+    samples = {True: [], False: []}
+    for compaction in (True, False):
+        samples[compaction].append(run(compaction).total_seconds)
+    rounds = SAMPLES if max(samples[True][0], samples[False][0]) > 2.0 else 5
+    for _ in range(rounds - 1):
+        for compaction in (True, False):
+            samples[compaction].append(run(compaction).total_seconds)
+    seconds_on = min(samples[True])
+    seconds_off = min(samples[False])
+
+    spans_on = _evaluate_seconds(traced_on)
+    spans_off = _evaluate_seconds(traced_off)
+    num_rows = traced_on.num_rows
+    projected_cols = traced_on.counters.level(1).cols_alive
+    levels = []
+    for record in traced_on.counters.levels:
+        if record.level < 2 or record.evaluated == 0:
+            continue
+        levels.append(
+            {
+                "level": record.level,
+                "evaluated": record.evaluated,
+                "rows_retained": record.rows_alive / num_rows,
+                "cols_retained": (
+                    record.cols_alive / projected_cols if projected_cols else 0.0
+                ),
+                "evaluate_seconds_on": spans_on.get(record.level),
+                "evaluate_seconds_off": spans_off.get(record.level),
+            }
+        )
+    return {
+        "workload": name,
+        "num_rows": num_rows,
+        "num_onehot_columns": traced_on.num_onehot_columns,
+        "projected_columns": projected_cols,
+        "seconds_on": seconds_on,
+        "seconds_off": seconds_off,
+        "speedup": seconds_off / seconds_on if seconds_on else 0.0,
+        "levels": levels,
+    }
+
+
+def test_compaction_speedup(benchmark):
+    records = run_once(
+        benchmark, lambda: [_bench_workload(name) for name in WORKLOADS]
+    )
+    document = {"schema": "repro.bench_compaction/v1", "workloads": records}
+    OUT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+    print(f"\ncompaction speedup (exactness-gated), written to {OUT_PATH}")
+    print(f"{'workload':<10} {'rows':>7} {'cols':>6} "
+          f"{'off(s)':>8} {'on(s)':>8} {'speedup':>8}")
+    for record in records:
+        print(
+            f"{record['workload']:<10} {record['num_rows']:>7} "
+            f"{record['projected_columns']:>6} {record['seconds_off']:>8.3f} "
+            f"{record['seconds_on']:>8.3f} {record['speedup']:>7.2f}x"
+        )
+        for level in record["levels"]:
+            print(
+                f"  level {level['level']}: rows {level['rows_retained']:.1%}"
+                f" cols {level['cols_retained']:.1%}"
+                f" evaluate {level['evaluate_seconds_off'] * 1e3:.1f}"
+                f" -> {level['evaluate_seconds_on'] * 1e3:.1f} ms"
+                f" ({level['evaluated']} candidates)"
+            )
+    assert len(records) == len(WORKLOADS)
+    for record in records:
+        assert record["levels"], f"{record['workload']} never reached level 2"

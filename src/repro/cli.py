@@ -144,6 +144,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bins per numeric column (default 10, as in the paper)",
     )
     parser.add_argument(
+        "--no-compaction", action="store_true",
+        help="disable per-level compaction of the evaluation matrix "
+        "(results are identical; this only changes kernel speed)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="print per-level pruning counters and the timed span tree",
     )
@@ -220,6 +225,11 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         help="bins per numeric column (default 10, as in the paper)",
     )
     parser.add_argument(
+        "--no-compaction", action="store_true",
+        help="disable per-level compaction of the evaluation matrix "
+        "(results are identical; this only changes kernel speed)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="print each tick's span tree (monitor.tick and nested runs)",
     )
@@ -250,7 +260,7 @@ def monitor_main(argv: list[str]) -> int:
         encoded = Preprocessor(specs).fit_transform(table)
         config = SliceLineConfig(
             k=args.k, sigma=args.sigma, alpha=args.alpha,
-            max_level=args.max_level,
+            max_level=args.max_level, compaction=not args.no_compaction,
         )
         monitor = SliceMonitor(
             config=config,
@@ -340,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
         tracing = args.trace or args.trace_json is not None
         finder = SliceLine(
             k=args.k, sigma=args.sigma, alpha=args.alpha,
-            max_level=args.max_level,
+            max_level=args.max_level, compaction=not args.no_compaction,
             trace=("memory" if args.trace_memory else True) if tracing else None,
         )
         finder.fit(encoded.x0, errors, feature_names=encoded.feature_names)

@@ -8,6 +8,7 @@ for composition and testing.
 
 from repro.core.algorithm import SliceLine, slice_line
 from repro.core.basic import BasicSlices, create_and_score_basic_slices
+from repro.core.compaction import CompactionState, compact_slice_set
 from repro.core.config import PruningConfig, SliceLineConfig
 from repro.core.decode import decode_topk, encode_slices, slice_membership
 from repro.core.evaluate import (
@@ -41,6 +42,8 @@ __all__ = [
     "slice_line",
     "BasicSlices",
     "create_and_score_basic_slices",
+    "CompactionState",
+    "compact_slice_set",
     "PruningConfig",
     "SliceLineConfig",
     "decode_topk",

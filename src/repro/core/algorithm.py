@@ -20,6 +20,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.basic import create_and_score_basic_slices
+from repro.core.compaction import CompactionState
 from repro.core.config import PruningConfig, SliceLineConfig
 from repro.core.decode import decode_topk, slice_membership
 from repro.core.evaluate import evaluate_slice_set, evaluate_slices
@@ -35,7 +36,7 @@ from repro.core.types import (
     stats_matrix,
 )
 from repro.exceptions import EncodingError, ShapeError
-from repro.linalg import ensure_vector
+from repro.linalg import KernelWorkspace, ensure_vector
 from repro.obs import NULL_TRACER, CounterRegistry, Tracer, resolve_tracer
 
 
@@ -146,6 +147,16 @@ def slice_line(
         space.ends, basic.selected_columns, side="right"
     ).astype(np.int64)
 
+    # One kernel workspace (persistent thread pool) and, unless disabled,
+    # one compaction state serve every level of this run.  Slices stay in
+    # the projected column space throughout; only the data matrix the
+    # kernels multiply against shrinks (see repro.core.compaction).
+    workspace = KernelWorkspace(num_threads)
+    compact = CompactionState.initial(x_projected, errors) if cfg.compaction else None
+    if compact is not None:
+        current.rows_alive = compact.num_rows_alive
+        current.cols_alive = compact.num_cols_alive
+
     # -- optional warm start: merge re-scored seeds into the initial top-K ---
     warm_info: WarmStartInfo | None = None
     seed_keys: set[tuple[int, ...]] = set()
@@ -154,6 +165,7 @@ def slice_line(
             seed_slices, space, basic.selected_columns, x_projected, errors,
             cfg, sigma, max_level, num_rows, total_error,
             top_slices, top_stats, num_threads, tracer,
+            workspace=workspace, compact=compact,
         )
 
     # -- level-wise lattice enumeration --------------------------------------
@@ -180,14 +192,34 @@ def slice_line(
                     tracer=tracer,
                 )
             if slices.shape[0] > 0:
+                x_eval, errors_eval, slices_eval = x_projected, errors, slices
+                coverage = None
+                if compact is not None:
+                    with tracer.span(f"level{level}.compact") as compact_span:
+                        compact.begin_level(slices)
+                        slices_eval = compact.project_slices(slices)
+                        coverage = compact.new_coverage()
+                        compact_span.annotate(
+                            rows_alive=compact.num_rows_alive,
+                            cols_alive=compact.num_cols_alive,
+                            rows_retained=round(compact.rows_retained, 6),
+                            cols_retained=round(compact.cols_retained, 6),
+                        )
+                    x_eval, errors_eval = compact.matrix, compact.errors
+                    current.rows_alive = compact.num_rows_alive
+                    current.cols_alive = compact.num_cols_alive
                 with tracer.span(
                     f"level{level}.evaluate", candidates=slices.shape[0]
                 ):
                     slices, stats, top_slices, top_stats = _evaluate_level(
-                        x_projected, errors, slices, bounds, level, cfg,
-                        top_slices, top_stats, sigma, num_threads, current,
-                        tracer,
+                        x_eval, errors_eval, slices, slices_eval, bounds,
+                        level, cfg, top_slices, top_stats, sigma, num_threads,
+                        current, tracer, workspace=workspace,
+                        coverage=coverage, num_rows=num_rows,
+                        total_error=total_error,
                     )
+                if compact is not None:
+                    compact.row_coverage = coverage
                 current.valid = int(
                     np.count_nonzero(
                         (stats[:, StatsCol.SIZE] >= sigma)
@@ -199,6 +231,7 @@ def slice_line(
                 skipped=current.skipped_by_priority,
             )
         current.elapsed_seconds = time.perf_counter() - level_started
+    workspace.close()
 
     if warm_info is not None and seed_keys:
         top_csr = top_slices.tocsr()
@@ -249,6 +282,8 @@ def _seed_topk(
     top_stats: np.ndarray,
     num_threads: int,
     tracer,
+    workspace: KernelWorkspace | None = None,
+    compact: CompactionState | None = None,
 ) -> tuple[sp.csr_matrix, np.ndarray, WarmStartInfo, set[tuple[int, ...]]]:
     """Re-score warm-start seeds on the current data and merge into the top-K.
 
@@ -258,8 +293,10 @@ def _seed_topk(
     that did not survive the sigma/error filter (by size monotonicity such a
     seed is invalid here anyway).  Survivors are evaluated with the same
     ``(X S^T) == L`` kernel on the same projected matrix the enumeration
-    uses, so their statistics are bitwise identical to what enumeration
-    would produce — a prerequisite for warm == cold output equality.
+    uses (the row-compacted one when compaction is enabled — an empty data
+    row belongs to no slice, so the statistics are unchanged), so their
+    statistics are bitwise identical to what enumeration would produce — a
+    prerequisite for warm == cold output equality.
     """
     requested = len(seed_slices)
     rows: list[np.ndarray] = []
@@ -305,10 +342,21 @@ def _seed_topk(
         shape=(len(rows), num_projected),
     )
     with tracer.span("seed.evaluate", requested=requested, encoded=len(rows)):
-        raw = evaluate_slice_set(
-            x_projected, seed_matrix, errors,
-            block_size=cfg.block_size, num_threads=num_threads,
-        )
+        if compact is not None:
+            raw = evaluate_slice_set(
+                compact.matrix, compact.project_slices(seed_matrix),
+                compact.errors,
+                block_size=cfg.block_size, num_threads=num_threads,
+                workspace=workspace, num_rows=num_rows,
+                total_error=total_error,
+                max_error=float(errors.max()) if errors.shape[0] else 0.0,
+            )
+        else:
+            raw = evaluate_slice_set(
+                x_projected, seed_matrix, errors,
+                block_size=cfg.block_size, num_threads=num_threads,
+                workspace=workspace,
+            )
         seed_stats = stats_matrix(
             score(raw.sizes, raw.errors, num_rows, total_error, cfg.alpha),
             raw.errors, raw.max_errors, raw.sizes,
@@ -329,9 +377,10 @@ def _seed_topk(
 
 
 def _evaluate_level(
-    x_projected,
-    errors,
+    x_eval,
+    errors_eval,
     slices,
+    slices_eval,
     bounds,
     level,
     cfg: SliceLineConfig,
@@ -341,6 +390,10 @@ def _evaluate_level(
     num_threads: int,
     current,
     tracer=None,
+    workspace=None,
+    coverage=None,
+    num_rows=None,
+    total_error=None,
 ):
     """Evaluate one level's candidates, optionally in priority order.
 
@@ -351,6 +404,12 @@ def _evaluate_level(
     descendant's score, which is precisely the paper's score-pruning
     argument applied mid-level.  Returns the evaluated slices, their stats,
     and the updated top-K.
+
+    *slices* stays in the canonical projected column space (it feeds the
+    top-K, decoding, and the next pair join); *slices_eval* is the same
+    slice set with columns remapped for the (possibly compacted) *x_eval* —
+    the two are one object when compaction is off.  All reorderings and
+    chunk splits are applied to both in lockstep.
     """
     tracer = tracer or NULL_TRACER
     use_priority = (
@@ -360,9 +419,10 @@ def _evaluate_level(
     )
     if not use_priority:
         stats = evaluate_slices(
-            x_projected, errors, slices, level, cfg.alpha,
+            x_eval, errors_eval, slices_eval, level, cfg.alpha,
             block_size=cfg.block_size, num_threads=num_threads,
-            tracer=tracer, counters=current,
+            tracer=tracer, counters=current, workspace=workspace,
+            coverage=coverage, num_rows=num_rows, total_error=total_error,
         )
         current.evaluated = int(slices.shape[0])
         top_slices, top_stats = maintain_topk(
@@ -370,8 +430,10 @@ def _evaluate_level(
         )
         return slices, stats, top_slices, top_stats
 
+    shared = slices_eval is slices
     order = np.argsort(-bounds, kind="stable")
     slices = slices[order]
+    slices_eval = slices if shared else slices_eval[order]
     bounds = bounds[order]
     kept_slices = []
     kept_stats = []
@@ -379,10 +441,16 @@ def _evaluate_level(
     remaining = slices.shape[0]
     while position < remaining:
         chunk = slices[position : position + cfg.priority_chunk]
+        chunk_eval = (
+            chunk
+            if shared
+            else slices_eval[position : position + cfg.priority_chunk]
+        )
         chunk_stats = evaluate_slices(
-            x_projected, errors, chunk, level, cfg.alpha,
+            x_eval, errors_eval, chunk_eval, level, cfg.alpha,
             block_size=cfg.block_size, num_threads=num_threads,
-            tracer=tracer, counters=current,
+            tracer=tracer, counters=current, workspace=workspace,
+            coverage=coverage, num_rows=num_rows, total_error=total_error,
         )
         kept_slices.append(chunk)
         kept_stats.append(chunk_stats)
@@ -462,6 +530,7 @@ class SliceLine:
         max_level: int | None = None,
         block_size: int = 16,
         pruning: PruningConfig | None = None,
+        compaction: bool = True,
         num_threads: int = 1,
         trace: bool | str | Tracer | None = None,
     ) -> None:
@@ -471,6 +540,7 @@ class SliceLine:
         self.max_level = max_level
         self.block_size = block_size
         self.pruning = pruning or PruningConfig()
+        self.compaction = compaction
         self.num_threads = num_threads
         self.trace = trace
         self.result_: SliceLineResult | None = None
@@ -484,6 +554,7 @@ class SliceLine:
             max_level=self.max_level,
             block_size=self.block_size,
             pruning=self.pruning,
+            compaction=self.compaction,
         )
 
     def fit(

@@ -98,6 +98,12 @@ class SliceLineConfig:
     max_level: int | None = None
     block_size: int = 16
     pruning: PruningConfig = field(default_factory=PruningConfig)
+    #: per-level compaction of the evaluation data matrix: drop one-hot
+    #: columns no emitted candidate references and rows that matched no
+    #: slice of the previous level (size monotonicity makes both exact —
+    #: results are bitwise identical; see :mod:`repro.core.compaction`).
+    #: Off is the ablation arm that measures what compaction buys.
+    compaction: bool = True
     #: evaluate candidates in descending upper-bound order, re-pruning the
     #: remainder against the rising top-K threshold between chunks (the
     #: paper's "priority-based enumeration" future-work idea; exactness is

@@ -11,18 +11,37 @@ pure task-parallel evaluation (one slice at a time, vector intermediates
 only), ``b = nrow(S)`` pure data-parallel evaluation (one big intermediate),
 and moderate ``b`` shares scans of ``X`` across ``b`` slices while bounding
 the ``n x b`` intermediate (Figure 6(b) studies this trade-off).
+
+Two workspace-reuse optimizations serve the enumeration hot path: the CSC
+transpose ``S^T`` is built once per kernel call and blocks are cheap column
+slices of it (instead of transposing every row block separately), and
+callers may pass a :class:`~repro.linalg.KernelWorkspace` so every level of
+a run shares one persistent thread pool instead of constructing a fresh
+``ThreadPoolExecutor`` per call.  When the caller evaluates against a
+row/column-compacted data matrix (:mod:`repro.core.compaction`), the
+``num_rows``/``total_error`` overrides keep the scores referenced to the
+full population, and the optional ``coverage`` accumulator records which
+data rows matched at least one slice — the input of the next level's row
+compaction — as a by-product of the indicator that is computed anyway.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import NamedTuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import ValidationError
-from repro.linalg import as_csr, col_maxs, col_sums, ensure_vector, row_nnz
+from repro.linalg import (
+    KernelWorkspace,
+    as_csr,
+    col_maxs,
+    col_sums,
+    ensure_vector,
+    resolve_workspace,
+    row_nnz,
+)
 from repro.core.scoring import score
 from repro.core.types import stats_matrix
 from repro.obs import NULL_TRACER
@@ -58,6 +77,32 @@ def indicator_equal(product: sp.csr_matrix, level: int) -> sp.csr_matrix:
     return result
 
 
+def _block_stats(
+    x_onehot: sp.csr_matrix,
+    errors: np.ndarray,
+    slices_t_block: sp.csc_matrix,
+    level: int,
+    track_rows: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+    """``(ss, se, sm, row-any)`` of one transposed slice block.
+
+    *slices_t_block* is a column block of the per-call cached ``S^T`` in
+    CSC form; the row-any vector (which data rows matched >= 1 slice of the
+    block) is only materialized when *track_rows* — it is the compaction
+    coverage input and falls out of the indicator for free.
+    """
+    product = x_onehot @ slices_t_block
+    indicator = indicator_equal(product, level)
+    sizes = col_sums(indicator)
+    slice_errors = np.asarray(indicator.T @ errors, dtype=np.float64).ravel()
+    if indicator.nnz:
+        max_errors = col_maxs(indicator.multiply(errors[:, np.newaxis]).tocsc())
+    else:
+        max_errors = np.zeros(indicator.shape[1], dtype=np.float64)
+    covered = row_nnz(indicator) > 0 if track_rows else None
+    return sizes, slice_errors, max_errors, covered
+
+
 def evaluate_block(
     x_onehot: sp.csr_matrix,
     errors: np.ndarray,
@@ -68,14 +113,9 @@ def evaluate_block(
 
     Returns the vectors ``(ss, se, sm)`` of Equation 10 for the block.
     """
-    product = x_onehot @ slices_block.T.tocsc()
-    indicator = indicator_equal(product, level)
-    sizes = col_sums(indicator)
-    slice_errors = np.asarray(indicator.T @ errors, dtype=np.float64).ravel()
-    if indicator.nnz:
-        max_errors = col_maxs(indicator.multiply(errors[:, np.newaxis]).tocsc())
-    else:
-        max_errors = np.zeros(indicator.shape[1], dtype=np.float64)
+    sizes, slice_errors, max_errors, _ = _block_stats(
+        x_onehot, errors, slices_block.T.tocsc(), level
+    )
     return sizes, slice_errors, max_errors
 
 
@@ -86,23 +126,34 @@ def _evaluate_uniform_level(
     level: int,
     block_size: int,
     num_threads: int,
+    workspace: KernelWorkspace | None = None,
+    coverage: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Blocked ``(ss, se, sm)`` evaluation of same-level slices."""
+    """Blocked ``(ss, se, sm)`` evaluation of same-level slices.
+
+    The transpose ``S^T`` is materialized once in CSC form; each block is a
+    column slice of it.  When *coverage* (a boolean vector over the data
+    rows) is given, rows matching >= 1 evaluated slice are OR-ed into it.
+    """
     num_slices = slices.shape[0]
+    slices_t = slices.T.tocsc()
     blocks = [
-        slices[start : min(start + block_size, num_slices)]
+        slices_t[:, start : min(start + block_size, num_slices)]
         for start in range(0, num_slices, block_size)
     ]
-    if num_threads > 1 and len(blocks) > 1:
-        with ThreadPoolExecutor(max_workers=num_threads) as pool:
-            partials = list(
-                pool.map(
-                    lambda blk: evaluate_block(x_onehot, errors, blk, level),
-                    blocks,
-                )
-            )
-    else:
-        partials = [evaluate_block(x_onehot, errors, blk, level) for blk in blocks]
+    track_rows = coverage is not None
+    ws, transient = resolve_workspace(workspace, num_threads)
+    try:
+        partials = ws.map(
+            lambda blk: _block_stats(x_onehot, errors, blk, level, track_rows),
+            blocks,
+        )
+    finally:
+        if transient:
+            ws.close()
+    if track_rows:
+        for partial in partials:
+            np.logical_or(coverage, partial[3], out=coverage)
     return (
         np.concatenate([p[0] for p in partials]),
         np.concatenate([p[1] for p in partials]),
@@ -116,6 +167,10 @@ def evaluate_slice_set(
     errors: np.ndarray,
     block_size: int = 16,
     num_threads: int = 1,
+    workspace: KernelWorkspace | None = None,
+    num_rows: int | None = None,
+    total_error: float | None = None,
+    max_error: float | None = None,
 ) -> SliceSetStats:
     """Evaluate a *fixed*, possibly mixed-level slice set against a dataset.
 
@@ -131,6 +186,13 @@ def evaluate_slice_set(
     An all-zero slice row (no predicates) denotes the entire dataset and
     gets ``(n, sum(e), max(e))``.
 
+    When *x_onehot*/*errors* are a compacted view of a larger population
+    (see :func:`repro.core.compaction.compact_slice_set`), pass the full
+    population's ``num_rows``/``total_error``/``max_error`` so the
+    whole-dataset statistics stay referenced to the original data; the
+    per-slice vectors are unaffected (a compacted-away row belongs to no
+    slice).  *workspace* shares one thread pool across repeated calls.
+
     Returns a :class:`SliceSetStats` of row-aligned ``(sizes, errors,
     max_errors)`` vectors; combine with :func:`repro.core.scoring.score` for
     scores under a chosen ``alpha``.  This is the membership kernel behind
@@ -140,8 +202,9 @@ def evaluate_slice_set(
     """
     if block_size < 1:
         raise ValidationError("block_size must be >= 1")
-    num_rows = x_onehot.shape[0]
-    errors = ensure_vector(errors, num_rows, "errors")
+    errors = ensure_vector(errors, x_onehot.shape[0], "errors")
+    if num_rows is None:
+        num_rows = x_onehot.shape[0]
     slices = as_csr(slices)
     if slices.shape[1] != x_onehot.shape[1]:
         raise ValidationError(
@@ -160,12 +223,19 @@ def evaluate_slice_set(
         members = np.flatnonzero(levels == level)
         if level == 0:
             sizes[members] = float(num_rows)
-            slice_errors[members] = float(errors.sum())
-            max_errors[members] = float(errors.max()) if num_rows else 0.0
+            slice_errors[members] = (
+                float(errors.sum()) if total_error is None else total_error
+            )
+            if max_error is not None:
+                max_errors[members] = max_error
+            else:
+                max_errors[members] = (
+                    float(errors.max()) if errors.shape[0] else 0.0
+                )
             continue
         group_sizes, group_errors, group_max = _evaluate_uniform_level(
             x_onehot, errors, slices[members], int(level), block_size,
-            num_threads,
+            num_threads, workspace=workspace,
         )
         sizes[members] = group_sizes
         slice_errors[members] = group_errors
@@ -183,12 +253,24 @@ def evaluate_slices(
     num_threads: int = 1,
     tracer=NULL_TRACER,
     counters=None,
+    workspace: KernelWorkspace | None = None,
+    coverage: np.ndarray | None = None,
+    num_rows: int | None = None,
+    total_error: float | None = None,
 ) -> np.ndarray:
     """Evaluate all candidate *slices* and return their ``R`` statistics.
 
     Blocks of ``block_size`` slices are evaluated independently (optionally
     on a thread pool — scipy's matmul releases the GIL for the heavy part),
     then concatenated into the level's ``R`` matrix ``[sc, se, sm, ss]``.
+    Passing a :class:`~repro.linalg.KernelWorkspace` reuses one pool across
+    calls; the enumeration driver holds one for the whole run.
+
+    When evaluating against a compacted data matrix, *num_rows* and
+    *total_error* carry the full population (scores are defined against the
+    whole dataset) and *coverage* — a boolean vector over the compacted
+    rows — accumulates which rows matched >= 1 slice for the next level's
+    row compaction.
 
     The blocked multiplication reports one span into *tracer*; when a
     :class:`~repro.obs.LevelCounters` record is passed as *counters*, the
@@ -197,9 +279,11 @@ def evaluate_slices(
     """
     if block_size < 1:
         raise ValidationError("block_size must be >= 1")
-    num_rows = x_onehot.shape[0]
-    errors = ensure_vector(errors, num_rows, "errors")
-    total_error = float(errors.sum())
+    errors = ensure_vector(errors, x_onehot.shape[0], "errors")
+    if num_rows is None:
+        num_rows = x_onehot.shape[0]
+    if total_error is None:
+        total_error = float(errors.sum())
     slices = as_csr(slices)
     num_slices = slices.shape[0]
     if num_slices == 0:
@@ -213,7 +297,8 @@ def evaluate_slices(
         threads=num_threads,
     ):
         sizes, slice_errors, max_errors = _evaluate_uniform_level(
-            x_onehot, errors, slices, level, block_size, num_threads
+            x_onehot, errors, slices, level, block_size, num_threads,
+            workspace=workspace, coverage=coverage,
         )
     if counters is not None:
         # Every stored entry of I = (X S^T == L) is one (row, slice)

@@ -38,7 +38,7 @@ import scipy.sparse as sp
 from repro.core.config import PruningConfig
 from repro.core.scoring import score_upper_bound
 from repro.core.types import StatsCol
-from repro.linalg import iter_upper_tri_pair_chunks
+from repro.linalg import iter_upper_tri_pair_chunks, pack_rows_mixed_radix
 from repro.obs import NULL_TRACER, LevelCounters
 
 #: pairs processed per streaming step (bounds peak memory of the merge)
@@ -194,10 +194,7 @@ def get_pair_candidates(
     # -- step 6: deduplicate via slice-ID keys --------------------------------
     with tracer.span("pairs.dedup", pairs=int(keys.shape[0])) as dedup_span:
         if pruning.deduplicate:
-            unique_keys, first_index, group = np.unique(
-                keys, axis=0, return_index=True, return_inverse=True
-            )
-            group = group.ravel()
+            unique_keys, first_index, group = _dedup_keys(keys, num_cols)
             num_groups = int(first_index.size)
             grouped_size_ub = _group_min(size_ub, group, num_groups)
             grouped_error_ub = _group_min(error_ub, group, num_groups)
@@ -289,13 +286,43 @@ def _feature_valid(keys: np.ndarray, feature_map: np.ndarray) -> np.ndarray:
     return np.all(feats[:, 1:] != feats[:, :-1], axis=1)
 
 
+def _dedup_keys(
+    keys: np.ndarray, num_cols: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``np.unique`` of the key rows via scalar slice IDs when they fit.
+
+    Packing each sorted ``L``-column key into one mixed-radix ``int64``
+    (the paper's ND-array slice ID with base ``m'``) turns the expensive
+    ``np.unique(axis=0)`` row sort into a plain 1-D sort.  The packing is a
+    strictly monotone bijection w.r.t. lexicographic row order, and both
+    paths use a stable sort for ``return_index``, so the returned
+    ``(unique_keys, first_index, group)`` triple is identical either way;
+    when ``m'^L`` overflows ``int64`` the row-wise path is the fallback.
+    """
+    packed = pack_rows_mixed_radix(keys, num_cols)
+    if packed is not None:
+        _, first_index, group = np.unique(
+            packed, return_index=True, return_inverse=True
+        )
+        return keys[first_index], first_index, group.ravel()
+    unique_keys, first_index, group = np.unique(
+        keys, axis=0, return_index=True, return_inverse=True
+    )
+    return unique_keys, first_index, group.ravel()
+
+
 def _keys_to_matrix(keys: np.ndarray, level: int, num_cols: int) -> sp.csr_matrix:
-    """Build the 0/1 candidate matrix from sorted column-index keys."""
+    """Build the 0/1 candidate matrix from sorted column-index keys.
+
+    Indices stay in the canonical ``int64`` index dtype: a downcast (the
+    former ``astype(np.int32)``) silently wraps for one-hot spaces wider
+    than ``2^31`` columns, which wide-domain feature crosses can reach.
+    """
     num_slices = keys.shape[0]
     indptr = np.arange(0, num_slices * level + 1, level, dtype=np.int64)
     data = np.ones(num_slices * level, dtype=np.float64)
     return sp.csr_matrix(
-        (data, keys.ravel().astype(np.int32), indptr),
+        (data, keys.ravel().astype(np.int64, copy=False), indptr),
         shape=(num_slices, num_cols),
     )
 

@@ -17,6 +17,7 @@ from repro.linalg.ops import (
     cumprod,
     iter_upper_tri_pair_chunks,
     one_hot_encode,
+    pack_rows_mixed_radix,
     remove_empty_rows,
     row_index_max,
     row_maxs,
@@ -34,6 +35,7 @@ from repro.linalg.sparse import (
     vstack_rows,
 )
 from repro.linalg.blocks import BlockedMatrix, row_partitions
+from repro.linalg.workspace import KernelWorkspace, resolve_workspace
 
 __all__ = [
     "col_maxs",
@@ -44,6 +46,7 @@ __all__ = [
     "cumprod",
     "iter_upper_tri_pair_chunks",
     "one_hot_encode",
+    "pack_rows_mixed_radix",
     "remove_empty_rows",
     "row_index_max",
     "row_maxs",
@@ -59,4 +62,6 @@ __all__ = [
     "vstack_rows",
     "BlockedMatrix",
     "row_partitions",
+    "KernelWorkspace",
+    "resolve_workspace",
 ]

@@ -169,6 +169,35 @@ def one_hot_encode(
     return sp.coo_matrix((data, (rows, cols)), shape=(n, num_columns)).tocsr()
 
 
+def pack_rows_mixed_radix(rows: np.ndarray, base: int) -> np.ndarray | None:
+    """Pack integer key rows into scalar mixed-radix IDs (most significant
+    digit first) — the 1-D realization of the paper's ND-array slice index.
+
+    *rows* is a ``num_keys x width`` matrix of digits in ``[0, base)``.
+    Returns ``None`` when ``base ** width`` does not fit in ``int64`` (the
+    caller falls back to row-wise comparison); otherwise an ``int64`` vector
+    whose ordering is exactly the lexicographic ordering of the rows, so
+    ``np.unique`` on the packed IDs is interchangeable with the much slower
+    ``np.unique(rows, axis=0)``.
+    """
+    rows = np.asarray(rows)
+    if rows.ndim != 2:
+        raise ShapeError(f"rows must be 2-D, got shape {rows.shape}")
+    num_keys, width = rows.shape
+    if base < 1:
+        raise ValidationError("pack_rows_mixed_radix requires base >= 1")
+    if width == 0:
+        return np.zeros(num_keys, dtype=np.int64)
+    # Exact Python-int overflow check: the largest ID is base**width - 1.
+    if base**width > np.iinfo(np.int64).max:
+        return None
+    packed = rows[:, 0].astype(np.int64, copy=True)
+    for column in range(1, width):
+        packed *= base
+        packed += rows[:, column]
+    return packed
+
+
 def remove_empty_rows(
     matrix: Matrix, select: np.ndarray | None = None
 ) -> tuple[Matrix, np.ndarray]:

@@ -24,12 +24,13 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.compaction import compact_slice_set
 from repro.core.evaluate import evaluate_slice_set
 from repro.core.onehot import FeatureSpace, validate_encoded_matrix
 from repro.core.scoring import score
 from repro.core.types import Slice, stats_matrix
 from repro.exceptions import EncodingError, StreamingError
-from repro.linalg import ensure_vector
+from repro.linalg import KernelWorkspace, ensure_vector
 
 
 @dataclass(frozen=True)
@@ -132,14 +133,27 @@ class MergeableSliceStats:
             shape=(len(rows), space.num_onehot),
         )
         x_onehot = space.encode(x0)
-        first = evaluate_slice_set(
-            x_onehot, matrix, errors,
-            block_size=block_size, num_threads=num_threads,
-        )
-        second = evaluate_slice_set(
-            x_onehot, matrix, errors * errors,
-            block_size=block_size, num_threads=num_threads,
-        )
+        # Compact once to the columns/rows the tracked slices can touch and
+        # run both kernel passes (errors, errors^2) against the small pair;
+        # the overrides pin the whole-batch statistics to the full batch, so
+        # results are bitwise identical to the uncompacted evaluation.
+        x_compact, s_compact, alive_rows = compact_slice_set(x_onehot, matrix)
+        with KernelWorkspace(num_threads) as workspace:
+            first = evaluate_slice_set(
+                x_compact, s_compact, errors[alive_rows],
+                block_size=block_size, num_threads=num_threads,
+                workspace=workspace, num_rows=totals["num_rows"],
+                total_error=totals["total_error"],
+                max_error=totals["max_error"],
+            )
+            squared = errors * errors
+            second = evaluate_slice_set(
+                x_compact, s_compact, squared[alive_rows],
+                block_size=block_size, num_threads=num_threads,
+                workspace=workspace, num_rows=totals["num_rows"],
+                total_error=totals["total_sq_error"],
+                max_error=float(squared.max()) if num_rows else 0.0,
+            )
         picked = np.asarray(encodable, dtype=np.int64)
         sizes = result.sizes
         errs = result.errors
