@@ -21,6 +21,13 @@ from repro.core import (
     SliceLineResult,
     slice_line,
 )
+from repro.resilience import (
+    BatchQuarantine,
+    BudgetConfig,
+    ChaosInjector,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.streaming import (
     MergeableSliceStats,
     MonitorTick,
@@ -38,6 +45,11 @@ __all__ = [
     "SliceLineConfig",
     "SliceLineResult",
     "slice_line",
+    "BatchQuarantine",
+    "BudgetConfig",
+    "ChaosInjector",
+    "FaultPlan",
+    "RetryPolicy",
     "MergeableSliceStats",
     "MonitorTick",
     "PredictionBatch",

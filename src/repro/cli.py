@@ -35,6 +35,7 @@ from repro.datasets import replay_batches
 from repro.exceptions import ReproError, ValidationError
 from repro.obs import counters_table, format_trace, write_json
 from repro.preprocessing import ColumnSpec, Preprocessor
+from repro.resilience import BudgetConfig
 from repro.streaming import SliceMonitor
 
 
@@ -104,6 +105,43 @@ def build_specs(
     return specs
 
 
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    """Anytime-budget flags shared by the batch and monitor commands."""
+    parser.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; a tripped run prints the best-so-far "
+        "top-K as a partial result instead of failing",
+    )
+    parser.add_argument(
+        "--max-candidates-per-level", type=int, default=None, metavar="N",
+        help="stop (with a partial result) before evaluating a level that "
+        "emitted more than N candidate slices",
+    )
+    parser.add_argument(
+        "--max-memory-mb", type=float, default=None, metavar="MB",
+        help="stop (with a partial result) before an evaluation whose "
+        "estimated transient memory exceeds MB megabytes",
+    )
+
+
+def _budgets_from_args(args) -> BudgetConfig | None:
+    if (
+        args.deadline_s is None
+        and args.max_candidates_per_level is None
+        and args.max_memory_mb is None
+    ):
+        return None
+    return BudgetConfig(
+        deadline_s=args.deadline_s,
+        max_candidates_per_level=args.max_candidates_per_level,
+        max_memory_bytes=(
+            int(args.max_memory_mb * 1e6)
+            if args.max_memory_mb is not None
+            else None
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,6 +198,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-memory", action="store_true",
         help="with --trace/--trace-json: also record tracemalloc "
         "allocation high-water marks per span",
+    )
+    _add_budget_arguments(parser)
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write a repro.ckpt/v1 bundle after every completed level so "
+        "an interrupted run can be resumed with --resume-from",
+    )
+    parser.add_argument(
+        "--resume-from", metavar="PATH", default=None,
+        help="resume from a checkpoint bundle (or the latest bundle in a "
+        "checkpoint directory); requires the same CSV and parameters",
     )
     return parser
 
@@ -237,6 +286,12 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         "--ticks-json", metavar="PATH", default=None,
         help="write every tick's repro.obs/v1 document (JSON list) to PATH",
     )
+    _add_budget_arguments(parser)
+    parser.add_argument(
+        "--quarantine-dir", metavar="DIR", default=None,
+        help="persist batches that fail validation (NaN/inf errors, shape "
+        "or encoding mismatches) to DIR as .npz + .json pairs",
+    )
     return parser
 
 
@@ -268,18 +323,36 @@ def monitor_main(argv: list[str]) -> int:
             policy=args.policy,
             warm_start=not args.cold,
             trace=True if args.trace else None,
+            quarantine_dir=args.quarantine_dir,
+            budgets=_budgets_from_args(args),
         )
         pending = 0
         for batch in replay_batches(encoded.x0, errors, args.batch_size):
-            monitor.ingest(batch)
+            record = monitor.ingest(batch)
+            if record is not None:
+                print(
+                    f"quarantined batch {record.batch_id}: "
+                    f"{record.reason} ({record.detail})"
+                )
+                continue
             pending += 1
             if pending % args.tick_every == 0:
                 _print_tick(monitor.tick(), encoded)
                 pending = 0
-        if pending:
+        if pending and len(monitor.window):
             _print_tick(monitor.tick(), encoded)
         if not monitor.ticks:
             raise ValidationError("the CSV produced no batches to monitor")
+        if len(monitor.quarantine):
+            print(
+                f"{len(monitor.quarantine)} batch(es) quarantined: "
+                + ", ".join(
+                    f"{reason} x{count}"
+                    for reason, count in sorted(
+                        monitor.quarantine.reasons().items()
+                    )
+                )
+            )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -352,8 +425,13 @@ def main(argv: list[str] | None = None) -> int:
             k=args.k, sigma=args.sigma, alpha=args.alpha,
             max_level=args.max_level, compaction=not args.no_compaction,
             trace=("memory" if args.trace_memory else True) if tracing else None,
+            budgets=_budgets_from_args(args),
+            checkpoint_dir=args.checkpoint_dir,
         )
-        finder.fit(encoded.x0, errors, feature_names=encoded.feature_names)
+        finder.fit(
+            encoded.x0, errors, feature_names=encoded.feature_names,
+            resume_from=args.resume_from,
+        )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -375,6 +453,13 @@ def main(argv: list[str] | None = None) -> int:
         f"l={result.num_onehot_columns} one-hot columns, "
         f"avg error={result.average_error:.4f}"
     )
+    if not result.completed:
+        trip = result.budget_trip
+        print(
+            f"partial result: {trip.budget} budget tripped at level "
+            f"{trip.level} ({trip.detail}); the top-K below is the exact "
+            "best of everything evaluated before the stop"
+        )
     if not result.top_slices:
         print("no slice scores above 0 — the model has no concentrated "
               "weak spots at this sigma/alpha")

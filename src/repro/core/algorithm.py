@@ -35,9 +35,27 @@ from repro.core.types import (
     WarmStartInfo,
     stats_matrix,
 )
-from repro.exceptions import EncodingError, ShapeError
+from repro.exceptions import (
+    CheckpointError,
+    EncodingError,
+    InvalidErrorsError,
+    ShapeError,
+)
 from repro.linalg import KernelWorkspace, ensure_vector
 from repro.obs import NULL_TRACER, CounterRegistry, Tracer, resolve_tracer
+from repro.resilience.budgets import (
+    BudgetConfig,
+    BudgetTracker,
+    estimate_level_memory,
+)
+from repro.resilience.checkpoint import (
+    CheckpointState,
+    fingerprint_config,
+    fingerprint_inputs,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
 
 
 def slice_line(
@@ -48,6 +66,9 @@ def slice_line(
     num_threads: int = 1,
     trace: bool | str | Tracer | None = None,
     seed_slices: Sequence[Slice] | None = None,
+    budgets: BudgetConfig | None = None,
+    checkpoint_dir: str | None = None,
+    resume_from: str | None = None,
 ) -> SliceLineResult:
     """Find the top-K problematic slices of an integer-encoded dataset.
 
@@ -90,6 +111,26 @@ def slice_line(
         evaluations are deliberately kept out of the per-level counters so
         their flow-conservation identities stay intact).  Seeds outside the
         current feature space's domains are ignored.
+    budgets:
+        Optional anytime budgets (:class:`~repro.resilience.BudgetConfig`):
+        a wall-clock deadline, a per-level candidate cap, and an estimated
+        memory cap.  A tripped budget never raises — the run returns the
+        exact top-K of everything evaluated so far with
+        ``result.completed = False`` and ``result.budget_trip`` naming the
+        budget, the level reached, and the measurement that fired.
+    checkpoint_dir:
+        When given, a ``repro.ckpt/v1`` bundle is written into this
+        directory after every completed level (see
+        :mod:`repro.resilience.checkpoint`), so a killed run can be resumed.
+    resume_from:
+        Path to a checkpoint bundle (or a checkpoint directory, whose
+        deepest bundle is used) written by a previous run over the **same**
+        ``(x0, errors, config)`` — enforced by content fingerprints.  The
+        resumed run replays enumeration from the checkpointed level boundary
+        and produces bitwise-identical top-K slices, statistics, and
+        pruning counters to an uninterrupted run.  ``seed_slices`` are
+        ignored on resume (their effect is already baked into the restored
+        top-K).
 
     Returns
     -------
@@ -104,8 +145,15 @@ def slice_line(
     x0 = validate_encoded_matrix(x0, allow_missing=True)
     num_rows, num_features = x0.shape
     errors = ensure_vector(errors, num_rows, "errors")
+    if not np.isfinite(errors).all():
+        bad = int(np.count_nonzero(~np.isfinite(errors)))
+        raise InvalidErrorsError(
+            f"errors must be finite: {bad} NaN/inf entries in e"
+        )
     if (errors < 0).any():
-        raise ShapeError("errors must be non-negative (e >= 0 in the paper)")
+        raise InvalidErrorsError(
+            "errors must be non-negative (e >= 0 in the paper)"
+        )
 
     space = feature_space or FeatureSpace.from_matrix(x0)
     if space.num_features != num_features:
@@ -116,6 +164,23 @@ def slice_line(
     average_error = total_error / num_rows
 
     started = time.perf_counter()
+    tracker = (
+        BudgetTracker(budgets, started=started)
+        if budgets is not None and budgets.enabled
+        else None
+    )
+
+    resume_state: CheckpointState | None = None
+    if resume_from is not None:
+        with tracer.span("checkpoint.load", path=resume_from):
+            resume_state = load_checkpoint(resume_from)
+            verify_checkpoint(resume_state, x0, errors, cfg)
+        counters = resume_state.restore_counters()
+    fingerprints: tuple[dict, dict] | None = None
+    if checkpoint_dir is not None:
+        # Hash once up front; every bundle this run writes reuses them.
+        fingerprints = (fingerprint_inputs(x0, errors), fingerprint_config(cfg))
+
     with tracer.span("encode", num_rows=num_rows, num_features=num_features):
         x_onehot = space.encode(x0)
 
@@ -128,17 +193,18 @@ def slice_line(
 
     # -- initialization: basic slices and initial top-K ----------------------
     level_started = time.perf_counter()
-    current = counters.level(1)
     with tracer.span("level1.basic", onehot_columns=x_onehot.shape[1]):
         basic = create_and_score_basic_slices(x_onehot, errors, sigma, cfg.alpha)
         top_slices, top_stats = maintain_topk(
             basic.slices, basic.stats, *empty_topk(basic.num_slices), cfg.k, sigma
         )
-    current.candidates_emitted = x_onehot.shape[1]
-    current.evaluated = x_onehot.shape[1]
-    current.valid = basic.num_slices
-    current.indicator_nnz = int(x_onehot.nnz)
-    current.elapsed_seconds = time.perf_counter() - level_started
+    if resume_state is None:
+        current = counters.level(1)
+        current.candidates_emitted = x_onehot.shape[1]
+        current.evaluated = x_onehot.shape[1]
+        current.valid = basic.num_slices
+        current.indicator_nnz = int(x_onehot.nnz)
+        current.elapsed_seconds = time.perf_counter() - level_started
 
     # Project X to the valid basic-slice columns (Algorithm 1 line 12): all
     # deeper slices are conjunctions of valid basic slices.
@@ -146,92 +212,183 @@ def slice_line(
     feature_map = np.searchsorted(
         space.ends, basic.selected_columns, side="right"
     ).astype(np.int64)
+    if resume_state is not None and not np.array_equal(
+        resume_state.selected_columns, basic.selected_columns
+    ):
+        raise CheckpointError(
+            "checkpoint selected_columns do not match the re-derived basic "
+            "pass; the bundle was written against different data"
+        )
 
-    # One kernel workspace (persistent thread pool) and, unless disabled,
-    # one compaction state serve every level of this run.  Slices stay in
-    # the projected column space throughout; only the data matrix the
-    # kernels multiply against shrinks (see repro.core.compaction).
-    workspace = KernelWorkspace(num_threads)
-    compact = CompactionState.initial(x_projected, errors) if cfg.compaction else None
-    if compact is not None:
+    # Unless disabled, one compaction state serves every level of this run.
+    # Slices stay in the projected column space throughout; only the data
+    # matrix the kernels multiply against shrinks (see repro.core.compaction).
+    # On resume the state is rebuilt from the checkpointed row/column maps:
+    # compaction composes per level, so the matrix is exactly
+    # ``x_projected[row_indices][:, alive columns of col_map]``.
+    compact: CompactionState | None = None
+    if cfg.compaction:
+        if resume_state is not None and resume_state.row_indices is not None:
+            compact = _restore_compaction(
+                resume_state, x_projected, errors, num_rows
+            )
+        else:
+            compact = CompactionState.initial(x_projected, errors)
+    if resume_state is None and compact is not None:
         current.rows_alive = compact.num_rows_alive
         current.cols_alive = compact.num_cols_alive
 
-    # -- optional warm start: merge re-scored seeds into the initial top-K ---
+    # -- enumeration state: fresh from the basic pass, or the checkpoint -----
     warm_info: WarmStartInfo | None = None
     seed_keys: set[tuple[int, ...]] = set()
-    if seed_slices is not None:
-        top_slices, top_stats, warm_info, seed_keys = _seed_topk(
-            seed_slices, space, basic.selected_columns, x_projected, errors,
-            cfg, sigma, max_level, num_rows, total_error,
-            top_slices, top_stats, num_threads, tracer,
-            workspace=workspace, compact=compact,
-        )
+    if resume_state is not None:
+        if resume_state.warm_info is not None:
+            warm_info = WarmStartInfo(**resume_state.warm_info)
+        seed_keys = {tuple(key) for key in resume_state.seed_keys}
+        slices = resume_state.slices
+        stats = resume_state.stats
+        top_slices = resume_state.top_slices
+        top_stats = resume_state.top_stats
+        level = int(resume_state.level)
+    else:
+        slices, stats = basic.slices, basic.stats
+        level = 1
 
-    # -- level-wise lattice enumeration --------------------------------------
-    slices, stats = basic.slices, basic.stats
-    level = 1
-    while slices.shape[0] > 0 and level < max_level:
-        level += 1
-        level_started = time.perf_counter()
-        current = counters.level(level)
-        with tracer.span(f"level{level}", level=level) as level_span:
-            with tracer.span(f"level{level}.pairs", parents=slices.shape[0]):
-                slices, bounds = get_pair_candidates(
-                    slices,
-                    stats,
-                    level,
-                    num_rows=num_rows,
-                    total_error=total_error,
-                    sigma=sigma,
-                    alpha=cfg.alpha,
-                    topk_min_score=topk_min_score(top_stats, cfg.k),
-                    feature_map=feature_map,
-                    pruning=cfg.pruning,
-                    level_stats=current,
-                    tracer=tracer,
-                )
-            if slices.shape[0] > 0:
-                x_eval, errors_eval, slices_eval = x_projected, errors, slices
-                coverage = None
-                if compact is not None:
-                    with tracer.span(f"level{level}.compact") as compact_span:
-                        compact.begin_level(slices)
-                        slices_eval = compact.project_slices(slices)
-                        coverage = compact.new_coverage()
-                        compact_span.annotate(
-                            rows_alive=compact.num_rows_alive,
-                            cols_alive=compact.num_cols_alive,
-                            rows_retained=round(compact.rows_retained, 6),
-                            cols_retained=round(compact.cols_retained, 6),
-                        )
-                    x_eval, errors_eval = compact.matrix, compact.errors
-                    current.rows_alive = compact.num_rows_alive
-                    current.cols_alive = compact.num_cols_alive
-                with tracer.span(
-                    f"level{level}.evaluate", candidates=slices.shape[0]
-                ):
-                    slices, stats, top_slices, top_stats = _evaluate_level(
-                        x_eval, errors_eval, slices, slices_eval, bounds,
-                        level, cfg, top_slices, top_stats, sigma, num_threads,
-                        current, tracer, workspace=workspace,
-                        coverage=coverage, num_rows=num_rows,
-                        total_error=total_error,
-                    )
-                if compact is not None:
-                    compact.row_coverage = coverage
-                current.valid = int(
-                    np.count_nonzero(
-                        (stats[:, StatsCol.SIZE] >= sigma)
-                        & (stats[:, StatsCol.ERROR] > 0)
-                    )
-                )
-            level_span.annotate(
-                evaluated=current.evaluated, valid=current.valid,
-                skipped=current.skipped_by_priority,
+    # One kernel workspace (persistent thread pool) serves seed evaluation
+    # and every level; the context manager guarantees pool shutdown even
+    # when a kernel or pair join raises mid-run.
+    with KernelWorkspace(num_threads) as workspace:
+        # -- optional warm start: merge re-scored seeds into the top-K -------
+        if seed_slices is not None and resume_state is None:
+            top_slices, top_stats, warm_info, seed_keys = _seed_topk(
+                seed_slices, space, basic.selected_columns, x_projected,
+                errors, cfg, sigma, max_level, num_rows, total_error,
+                top_slices, top_stats, num_threads, tracer,
+                workspace=workspace, compact=compact,
             )
-        current.elapsed_seconds = time.perf_counter() - level_started
-    workspace.close()
+        if checkpoint_dir is not None and resume_state is None:
+            _write_checkpoint(
+                checkpoint_dir, 1, slices, stats, top_slices, top_stats,
+                counters, basic.selected_columns, fingerprints, compact,
+                warm_info, seed_keys, tracer,
+            )
+
+        # -- level-wise lattice enumeration ----------------------------------
+        while slices.shape[0] > 0 and level < max_level:
+            if (
+                tracker is not None
+                and tracker.check_deadline(level + 1) is not None
+            ):
+                break
+            level += 1
+            level_started = time.perf_counter()
+            current = counters.level(level)
+            tripped = False
+            with tracer.span(f"level{level}", level=level) as level_span:
+                with tracer.span(f"level{level}.pairs", parents=slices.shape[0]):
+                    slices, bounds = get_pair_candidates(
+                        slices,
+                        stats,
+                        level,
+                        num_rows=num_rows,
+                        total_error=total_error,
+                        sigma=sigma,
+                        alpha=cfg.alpha,
+                        topk_min_score=topk_min_score(top_stats, cfg.k),
+                        feature_map=feature_map,
+                        pruning=cfg.pruning,
+                        level_stats=current,
+                        tracer=tracer,
+                    )
+                if tracker is not None and slices.shape[0] > 0:
+                    trip = tracker.check_candidates(level, int(slices.shape[0]))
+                    if trip is None and budgets.max_memory_bytes is not None:
+                        rows_alive = (
+                            compact.num_rows_alive
+                            if compact is not None
+                            else num_rows
+                        )
+                        data_nnz = int(
+                            compact.matrix.nnz
+                            if compact is not None
+                            else x_projected.nnz
+                        )
+                        trip = tracker.check_memory(
+                            level,
+                            estimate_level_memory(
+                                int(slices.shape[0]), level, rows_alive,
+                                data_nnz, cfg.block_size, num_threads,
+                            ),
+                        )
+                    if trip is not None:
+                        # Never evaluated: account for the whole candidate
+                        # set so flow conservation still balances.
+                        current.skipped_by_budget += int(slices.shape[0])
+                        tripped = True
+                if slices.shape[0] > 0 and not tripped:
+                    x_eval, errors_eval, slices_eval = x_projected, errors, slices
+                    coverage = None
+                    if compact is not None:
+                        with tracer.span(f"level{level}.compact") as compact_span:
+                            compact.begin_level(slices)
+                            slices_eval = compact.project_slices(slices)
+                            coverage = compact.new_coverage()
+                            compact_span.annotate(
+                                rows_alive=compact.num_rows_alive,
+                                cols_alive=compact.num_cols_alive,
+                                rows_retained=round(compact.rows_retained, 6),
+                                cols_retained=round(compact.cols_retained, 6),
+                            )
+                        x_eval, errors_eval = compact.matrix, compact.errors
+                        current.rows_alive = compact.num_rows_alive
+                        current.cols_alive = compact.num_cols_alive
+                    with tracer.span(
+                        f"level{level}.evaluate", candidates=slices.shape[0]
+                    ):
+                        slices, stats, top_slices, top_stats = _evaluate_level(
+                            x_eval, errors_eval, slices, slices_eval, bounds,
+                            level, cfg, top_slices, top_stats, sigma,
+                            num_threads, current, tracer, workspace=workspace,
+                            coverage=coverage, num_rows=num_rows,
+                            total_error=total_error, tracker=tracker,
+                        )
+                    if tracker is not None and tracker.trip is not None:
+                        tripped = True
+                    if compact is not None:
+                        compact.row_coverage = coverage
+                    current.valid = int(
+                        np.count_nonzero(
+                            (stats[:, StatsCol.SIZE] >= sigma)
+                            & (stats[:, StatsCol.ERROR] > 0)
+                        )
+                    )
+                level_span.annotate(
+                    evaluated=current.evaluated, valid=current.valid,
+                    skipped=current.skipped_by_priority,
+                )
+            current.elapsed_seconds = time.perf_counter() - level_started
+            if tripped:
+                break
+            if slices.shape[0] == 0:
+                stats = stats[:0]
+            if checkpoint_dir is not None:
+                _write_checkpoint(
+                    checkpoint_dir, level, slices, stats, top_slices,
+                    top_stats, counters, basic.selected_columns, fingerprints,
+                    compact, warm_info, seed_keys, tracer,
+                )
+
+    completed = tracker is None or tracker.trip is None
+    if not completed:
+        counters.event("budget.trip")
+        with tracer.span(
+            "budget.trip",
+            budget=tracker.trip.budget,
+            level=tracker.trip.level,
+            value=round(tracker.trip.value, 6),
+            limit=tracker.trip.limit,
+        ):
+            pass
 
     if warm_info is not None and seed_keys:
         top_csr = top_slices.tocsr()
@@ -264,7 +421,86 @@ def slice_line(
         counters=counters,
         trace=tracer if tracer.enabled else None,
         warm_start=warm_info,
+        completed=completed,
+        budget_trip=tracker.trip if tracker is not None else None,
     )
+
+
+def _restore_compaction(
+    state: CheckpointState,
+    x_projected: sp.csr_matrix,
+    errors: np.ndarray,
+    num_rows: int,
+) -> CompactionState:
+    """Rebuild the checkpointed :class:`CompactionState` from the raw data.
+
+    Per-level compaction composes: surviving rows/columns keep their
+    relative order, so the checkpointed matrix equals
+    ``x_projected[row_indices][:, alive_cols]`` where ``alive_cols`` are
+    the columns ``col_map`` maps to a compacted position.  Rebuilding from
+    the caller's data (whose identity the fingerprint already enforced)
+    keeps bundles small and bitwise-faithful.
+    """
+    alive_cols = np.flatnonzero(state.col_map >= 0)
+    matrix = x_projected[state.row_indices]
+    if alive_cols.size < x_projected.shape[1]:
+        matrix = matrix[:, alive_cols]
+    return CompactionState(
+        matrix=matrix.tocsr(),
+        errors=errors[state.row_indices],
+        col_map=state.col_map.copy(),
+        row_indices=state.row_indices.copy(),
+        num_rows_full=num_rows,
+        num_cols_full=int(x_projected.shape[1]),
+        row_coverage=(
+            None
+            if state.row_coverage is None
+            else state.row_coverage.astype(bool, copy=True)
+        ),
+    )
+
+
+def _write_checkpoint(
+    directory: str,
+    level: int,
+    slices: sp.csr_matrix,
+    stats: np.ndarray,
+    top_slices: sp.csr_matrix,
+    top_stats: np.ndarray,
+    counters: CounterRegistry,
+    selected_columns: np.ndarray,
+    fingerprints: tuple[dict, dict],
+    compact: CompactionState | None,
+    warm_info: WarmStartInfo | None,
+    seed_keys: set[tuple[int, ...]],
+    tracer,
+) -> None:
+    """Persist one level boundary as a ``repro.ckpt/v1`` bundle."""
+    # Count before saving so the bundle's own event total includes this
+    # write — a resumed run then reproduces an uninterrupted run's counts.
+    counters.event("checkpoint.write")
+    data_fp, config_fp = fingerprints
+    state = CheckpointState(
+        level=level,
+        slices=slices,
+        stats=stats,
+        top_slices=top_slices,
+        top_stats=top_stats,
+        counters=counters.to_records(),
+        selected_columns=selected_columns,
+        data_fingerprint=data_fp,
+        config_fingerprint=config_fp,
+        row_indices=compact.row_indices if compact is not None else None,
+        col_map=compact.col_map if compact is not None else None,
+        row_coverage=compact.row_coverage if compact is not None else None,
+        warm_info=(
+            dataclasses.asdict(warm_info) if warm_info is not None else None
+        ),
+        seed_keys=[list(key) for key in sorted(seed_keys)],
+        events=dict(counters.events),
+    )
+    with tracer.span("checkpoint.write", level=level):
+        save_checkpoint(directory, state)
 
 
 def _seed_topk(
@@ -394,6 +630,7 @@ def _evaluate_level(
     coverage=None,
     num_rows=None,
     total_error=None,
+    tracker=None,
 ):
     """Evaluate one level's candidates, optionally in priority order.
 
@@ -410,6 +647,14 @@ def _evaluate_level(
     slice set with columns remapped for the (possibly compacted) *x_eval* —
     the two are one object when compaction is off.  All reorderings and
     chunk splits are applied to both in lockstep.
+
+    When *tracker* carries a wall-clock deadline, the deadline is checked
+    between evaluation chunks so one level cannot overshoot it by more than
+    a chunk's worth of kernel work; candidates past a trip are recorded as
+    ``skipped_by_budget``.  Chunking a deadline-bounded non-priority level
+    is exact: per-slice statistics are computed within independent blocks
+    and top-K maintenance is order-independent, so an untripped chunked
+    evaluation is bitwise identical to the single-shot one.
     """
     tracer = tracer or NULL_TRACER
     use_priority = (
@@ -417,7 +662,13 @@ def _evaluate_level(
         and bounds is not None
         and slices.shape[0] > cfg.priority_chunk
     )
-    if not use_priority:
+    deadline_chunks = (
+        not use_priority
+        and tracker is not None
+        and tracker.has_deadline
+        and slices.shape[0] > cfg.priority_chunk
+    )
+    if not use_priority and not deadline_chunks:
         stats = evaluate_slices(
             x_eval, errors_eval, slices_eval, level, cfg.alpha,
             block_size=cfg.block_size, num_threads=num_threads,
@@ -428,6 +679,39 @@ def _evaluate_level(
         top_slices, top_stats = maintain_topk(
             slices, stats, top_slices, top_stats, cfg.k, sigma
         )
+        return slices, stats, top_slices, top_stats
+
+    if deadline_chunks:
+        shared = slices_eval is slices
+        kept_slices = []
+        kept_stats = []
+        position = 0
+        total = slices.shape[0]
+        while position < total:
+            chunk = slices[position : position + cfg.priority_chunk]
+            chunk_eval = (
+                chunk
+                if shared
+                else slices_eval[position : position + cfg.priority_chunk]
+            )
+            chunk_stats = evaluate_slices(
+                x_eval, errors_eval, chunk_eval, level, cfg.alpha,
+                block_size=cfg.block_size, num_threads=num_threads,
+                tracer=tracer, counters=current, workspace=workspace,
+                coverage=coverage, num_rows=num_rows, total_error=total_error,
+            )
+            kept_slices.append(chunk)
+            kept_stats.append(chunk_stats)
+            current.evaluated += int(chunk.shape[0])
+            top_slices, top_stats = maintain_topk(
+                chunk, chunk_stats, top_slices, top_stats, cfg.k, sigma
+            )
+            position += chunk.shape[0]
+            if position < total and tracker.check_deadline(level) is not None:
+                current.skipped_by_budget += total - position
+                break
+        slices = sp.vstack(kept_slices, format="csr")
+        stats = np.vstack(kept_stats)
         return slices, stats, top_slices, top_stats
 
     shared = slices_eval is slices
@@ -459,6 +743,14 @@ def _evaluate_level(
             chunk, chunk_stats, top_slices, top_stats, cfg.k, sigma
         )
         position += chunk.shape[0]
+        if (
+            tracker is not None
+            and tracker.has_deadline
+            and position < remaining
+            and tracker.check_deadline(level) is not None
+        ):
+            current.skipped_by_budget += remaining - position
+            break
         threshold = topk_min_score(top_stats, cfg.k)
         if position < remaining and threshold > 0.0:
             # Bounds are sorted descending: one searchsorted finds the cut
@@ -533,6 +825,8 @@ class SliceLine:
         compaction: bool = True,
         num_threads: int = 1,
         trace: bool | str | Tracer | None = None,
+        budgets: BudgetConfig | None = None,
+        checkpoint_dir: str | None = None,
     ) -> None:
         self.k = k
         self.sigma = sigma
@@ -543,6 +837,8 @@ class SliceLine:
         self.compaction = compaction
         self.num_threads = num_threads
         self.trace = trace
+        self.budgets = budgets
+        self.checkpoint_dir = checkpoint_dir
         self.result_: SliceLineResult | None = None
         self.feature_names_: tuple[str, ...] | None = None
 
@@ -562,6 +858,7 @@ class SliceLine:
         x0: np.ndarray,
         errors: np.ndarray,
         feature_names: Sequence[str] | None = None,
+        resume_from: str | None = None,
     ) -> "SliceLine":
         """Run slice finding on *x0* / *errors* and store the result."""
         space = FeatureSpace.from_matrix(x0, feature_names)
@@ -573,8 +870,17 @@ class SliceLine:
             feature_space=space,
             num_threads=self.num_threads,
             trace=self.trace,
+            budgets=self.budgets,
+            checkpoint_dir=self.checkpoint_dir,
+            resume_from=resume_from,
         )
         return self
+
+    @property
+    def completed_(self) -> bool:
+        """False when an anytime budget stopped the fitted run early."""
+        self._check_fitted()
+        return self.result_.completed
 
     @property
     def top_slices_(self):

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.obs.counters import CounterRegistry, LevelCounters
 from repro.obs.trace import NullTracer, Tracer
+
+if TYPE_CHECKING:  # import only for annotations; avoids a runtime cycle
+    from repro.resilience.budgets import BudgetTrip
 
 
 class StatsCol(IntEnum):
@@ -170,6 +173,12 @@ class SliceLineResult:
     trace: Tracer | NullTracer | None = None
     #: seed accounting when the run was warm-started (``None`` for cold runs)
     warm_start: WarmStartInfo | None = None
+    #: False when an anytime budget stopped enumeration early — the top-K is
+    #: then the exact best of everything evaluated so far, not of the full
+    #: lattice
+    completed: bool = True
+    #: the budget that stopped the run (``None`` when ``completed``)
+    budget_trip: "BudgetTrip | None" = None
 
     def __len__(self) -> int:
         return len(self.top_slices)

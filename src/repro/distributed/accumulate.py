@@ -22,6 +22,8 @@ from repro.core.types import Slice
 from repro.distributed.partition import partition_work
 from repro.linalg import ensure_vector
 from repro.obs import NULL_TRACER
+from repro.resilience.chaos import ChaosInjector
+from repro.resilience.retry import RetryPolicy, map_with_retries
 from repro.streaming.accumulator import MergeableSliceStats, merge_stats
 
 
@@ -33,6 +35,8 @@ def partitioned_slice_stats(
     feature_space: FeatureSpace | None = None,
     num_threads: int = 1,
     tracer=NULL_TRACER,
+    retry: RetryPolicy | None = None,
+    chaos: ChaosInjector | None = None,
 ) -> MergeableSliceStats:
     """Evaluate *slices* over row partitions and reduce-merge at the driver.
 
@@ -41,6 +45,14 @@ def partitioned_slice_stats(
     shared *feature_space* is derived from the full ``x0`` when omitted so
     every partition encodes identically; *num_threads* > 1 evaluates
     partitions concurrently (scipy's matmul releases the GIL).
+
+    With a *retry* policy, failed partition tasks are re-executed with
+    backoff and stragglers are speculatively reassigned; the partials are
+    left-folded **in partition order** regardless of completion/retry order,
+    so — combined with the exact associative ``merge()`` — the merged
+    statistics are unaffected by which attempts happened to succeed.
+    *chaos* deterministically injects partition failures for testing that
+    guarantee.
     """
     x0 = validate_encoded_matrix(x0, allow_missing=True)
     errors = ensure_vector(errors, x0.shape[0], "errors")
@@ -51,14 +63,29 @@ def partitioned_slice_stats(
         partitions=len(ranges),
         num_slices=len(slices),
         rows=int(x0.shape[0]),
-    ):
+    ) as span:
         def one_partition(rows: range) -> MergeableSliceStats:
             index = np.arange(rows.start, rows.stop)
             return MergeableSliceStats.from_batch(
                 x0[index], errors[index], slices, feature_space=space
             )
 
-        if num_threads > 1 and len(ranges) > 1:
+        if retry is not None or chaos is not None:
+            def task(pair, attempt):
+                index, rows = pair
+                if chaos is not None:
+                    chaos.perturb(("accumulate", index), attempt)
+                return one_partition(rows)
+
+            partials, retry_stats = map_with_retries(
+                task,
+                list(enumerate(ranges)),
+                policy=retry,
+                num_threads=num_threads,
+                task_name="accumulate partition",
+            )
+            retry_stats.merge_into(tracer_span=span)
+        elif num_threads > 1 and len(ranges) > 1:
             with ThreadPoolExecutor(max_workers=num_threads) as pool:
                 partials = list(pool.map(one_partition, ranges))
         else:

@@ -37,3 +37,20 @@ class ExecutionError(ReproError, RuntimeError):
 
 class StreamingError(ReproError, RuntimeError):
     """A streaming monitor was driven with inconsistent batches or state."""
+
+
+class InvalidErrorsError(ShapeError):
+    """The error vector ``e`` violates its contract (NaN/inf/negative).
+
+    Subclasses :class:`ShapeError` for backward compatibility: negative
+    errors historically raised ``ShapeError`` and callers may catch that.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint bundle is unreadable, incompatible, or stale.
+
+    Raised when a ``repro.ckpt/v1`` bundle fails to load, carries an
+    unknown version, or does not match the data/config of the run asked to
+    resume from it.
+    """

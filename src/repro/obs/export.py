@@ -44,6 +44,7 @@ def run_to_dict(result: Any) -> dict:
     trace = getattr(result, "trace", None)
     counters = getattr(result, "counters", None)
     warm = getattr(result, "warm_start", None)
+    trip = getattr(result, "budget_trip", None)
     return {
         "schema": SCHEMA,
         "run": {
@@ -54,6 +55,8 @@ def run_to_dict(result: Any) -> dict:
             "total_seconds": result.total_seconds,
             "num_top_slices": len(result.top_slices),
             "top_scores": [s.score for s in result.top_slices],
+            "completed": getattr(result, "completed", True),
+            "budget_trip": trip.to_dict() if trip is not None else None,
         },
         "warm_start": (
             {

@@ -1,0 +1,72 @@
+"""Resilience layer: anytime budgets, checkpoint/resume, retries, quarantine.
+
+Production slice finding must degrade gracefully instead of dying: a
+combinatorial level is stopped by a budget (best-so-far top-K with
+``completed=False``), a killed run resumes bitwise-identically from a
+``repro.ckpt/v1`` bundle, a failed partition worker is retried with backoff
+(stragglers are speculatively reassigned), and a corrupt prediction-log
+batch is quarantined with a structured reason while the monitor keeps
+ticking.  :mod:`repro.resilience.chaos` injects all of those faults
+deterministically by seed so every guarantee is testable.
+
+No module here imports :mod:`repro.core`, :mod:`repro.streaming`, or
+:mod:`repro.distributed` at import time — the dependency points the other
+way, which is what lets the core driver check budgets and write checkpoints
+without an import cycle.
+"""
+
+from repro.resilience.budgets import (
+    BudgetConfig,
+    BudgetTracker,
+    BudgetTrip,
+    estimate_level_memory,
+)
+from repro.resilience.chaos import (
+    ChaosInjector,
+    FaultPlan,
+    InjectedFault,
+    make_corrupt_batch,
+)
+from repro.resilience.checkpoint import (
+    CKPT_SCHEMA,
+    CheckpointState,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from repro.resilience.quarantine import (
+    BatchQuarantine,
+    QuarantineRecord,
+    validate_batch,
+)
+from repro.resilience.retry import (
+    RetryPolicy,
+    RetryStats,
+    map_with_retries,
+    unit_hash,
+)
+
+__all__ = [
+    "BudgetConfig",
+    "BudgetTracker",
+    "BudgetTrip",
+    "estimate_level_memory",
+    "ChaosInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "make_corrupt_batch",
+    "CKPT_SCHEMA",
+    "CheckpointState",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "verify_checkpoint",
+    "BatchQuarantine",
+    "QuarantineRecord",
+    "validate_batch",
+    "RetryPolicy",
+    "RetryStats",
+    "map_with_retries",
+    "unit_hash",
+]

@@ -1,0 +1,214 @@
+"""Anytime budgets for the level-wise enumeration.
+
+SliceLine's lattice enumeration can blow up combinatorially on hostile
+inputs; the paper caps the level (``ceil(L)``) and relies on pruning, but a
+production deployment additionally needs *anytime* behaviour: stop within a
+wall-clock deadline, refuse to materialize an oversized candidate set, and
+bail before an evaluation whose intermediates would not fit in memory —
+returning the best-so-far top-K instead of dying.
+
+:class:`BudgetConfig` declares the limits, :class:`BudgetTracker` checks
+them between levels (and, for the deadline, between evaluation chunks inside
+a level), and a :class:`BudgetTrip` records which budget fired where.  The
+driver (:func:`repro.core.algorithm.slice_line`) turns a trip into a result
+with ``completed=False`` — never an exception — whose partial top-K is
+exactly the top-K of the work that was actually done (every merged slice was
+fully evaluated and scored, so the partial answer is correct, just possibly
+not yet optimal over the whole lattice).
+
+This module deliberately imports nothing from :mod:`repro.core` so the core
+can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError
+
+
+@dataclass(frozen=True)
+class BudgetConfig:
+    """Resource limits for one enumeration run; ``None`` disables a limit.
+
+    Parameters
+    ----------
+    deadline_s:
+        Wall-clock budget in seconds, measured from :func:`slice_line`
+        entry.  Checked between levels and between evaluation chunks, so a
+        single level cannot overshoot by more than one chunk's worth of
+        kernel work.
+    max_candidates_per_level:
+        Upper bound on the deduplicated candidate count any single level may
+        emit to evaluation.  Checked right after pair generation, before the
+        candidate matrix is multiplied against the data.
+    max_memory_bytes:
+        Upper bound on the *estimated* transient memory of one level's
+        evaluation (see :func:`estimate_level_memory`).  An estimate — the
+        point is to catch the pathological level that would allocate orders
+        of magnitude too much, not to meter allocations byte-exactly.
+    """
+
+    deadline_s: float | None = None
+    max_candidates_per_level: int | None = None
+    max_memory_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ConfigError(f"deadline_s must be >= 0, got {self.deadline_s}")
+        if (
+            self.max_candidates_per_level is not None
+            and self.max_candidates_per_level < 1
+        ):
+            raise ConfigError(
+                "max_candidates_per_level must be >= 1, got "
+                f"{self.max_candidates_per_level}"
+            )
+        if self.max_memory_bytes is not None and self.max_memory_bytes < 1:
+            raise ConfigError(
+                f"max_memory_bytes must be >= 1, got {self.max_memory_bytes}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one limit is set."""
+        return (
+            self.deadline_s is not None
+            or self.max_candidates_per_level is not None
+            or self.max_memory_bytes is not None
+        )
+
+
+@dataclass(frozen=True)
+class BudgetTrip:
+    """Record of the budget that stopped a run.
+
+    ``budget`` is one of ``"deadline"``, ``"candidates"``, or ``"memory"``;
+    ``level`` is the lattice level being worked on when the budget fired
+    (its evaluation may be partial or not started); ``value``/``limit`` are
+    the observed measurement and the configured bound in the budget's own
+    unit (seconds, candidates, or bytes).
+    """
+
+    budget: str
+    level: int
+    value: float
+    limit: float
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "budget": self.budget,
+            "level": self.level,
+            "value": self.value,
+            "limit": self.limit,
+            "detail": self.detail,
+        }
+
+
+class BudgetTracker:
+    """Checks one run's budgets; remembers the first trip.
+
+    All checks are cheap (a clock read or an integer compare) so the
+    fault-free overhead of budgets-on runs stays in the noise; once a trip
+    is recorded every later check short-circuits to it.
+    """
+
+    def __init__(self, config: BudgetConfig, started: float | None = None) -> None:
+        self.config = config
+        self.started = time.perf_counter() if started is None else started
+        self.trip: BudgetTrip | None = None
+
+    @property
+    def has_deadline(self) -> bool:
+        return self.config.deadline_s is not None
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    def _record(self, budget: str, level: int, value: float, limit: float,
+                detail: str) -> BudgetTrip:
+        if self.trip is None:
+            self.trip = BudgetTrip(
+                budget=budget, level=level, value=value, limit=limit,
+                detail=detail,
+            )
+        return self.trip
+
+    def check_deadline(self, level: int) -> BudgetTrip | None:
+        """Trip when the wall clock has passed the deadline."""
+        if self.trip is not None:
+            return self.trip
+        if self.config.deadline_s is None:
+            return None
+        elapsed = self.elapsed()
+        if elapsed >= self.config.deadline_s:
+            return self._record(
+                "deadline", level, elapsed, self.config.deadline_s,
+                f"elapsed {elapsed:.3f}s >= deadline "
+                f"{self.config.deadline_s:.3f}s",
+            )
+        return None
+
+    def check_candidates(self, level: int, num_candidates: int) -> BudgetTrip | None:
+        """Trip when a level emitted more candidates than allowed."""
+        if self.trip is not None:
+            return self.trip
+        limit = self.config.max_candidates_per_level
+        if limit is None or num_candidates <= limit:
+            return None
+        return self._record(
+            "candidates", level, float(num_candidates), float(limit),
+            f"level {level} emitted {num_candidates} candidates > {limit}",
+        )
+
+    def check_memory(self, level: int, estimated_bytes: int) -> BudgetTrip | None:
+        """Trip when a level's estimated evaluation memory exceeds the cap."""
+        if self.trip is not None:
+            return self.trip
+        limit = self.config.max_memory_bytes
+        if limit is None or estimated_bytes <= limit:
+            return None
+        return self._record(
+            "memory", level, float(estimated_bytes), float(limit),
+            f"level {level} evaluation estimated at {estimated_bytes} bytes "
+            f"> {limit}",
+        )
+
+
+def estimate_level_memory(
+    num_candidates: int,
+    level: int,
+    rows_alive: int,
+    data_nnz: int,
+    block_size: int,
+    num_threads: int = 1,
+) -> int:
+    """Rough upper estimate of one level's transient evaluation bytes.
+
+    Accounts for the dominant allocations of the blocked ``(X S^T) == L``
+    kernel: the candidate matrix ``S`` and its cached CSC transpose (CSR/CSC
+    with 8-byte data + 8-byte indices, nnz = candidates x level), the per
+    block ``X @ S_b^T`` product and its indicator copy (bounded by the data
+    matrix's nnz within a block's columns — we bound each in-flight block by
+    ``min(rows_alive * block_size, data_nnz)`` stored entries at 16 bytes,
+    with ``num_threads`` blocks in flight), and the four per-candidate
+    statistic vectors.  A deliberate over-approximation within a small
+    constant factor: budgets gate order-of-magnitude blowups, not bytes.
+    """
+    nnz_s = num_candidates * level
+    candidate_matrices = 2 * (16 * nnz_s + 8 * (num_candidates + 1))
+    per_block_nnz = min(rows_alive * block_size, max(data_nnz, 1))
+    in_flight = max(1, num_threads)
+    products = 2 * 16 * per_block_nnz * in_flight
+    stats = 4 * 8 * num_candidates
+    return int(candidate_matrices + products + stats)
+
+
+__all__ = [
+    "BudgetConfig",
+    "BudgetTracker",
+    "BudgetTrip",
+    "estimate_level_memory",
+]

@@ -1,0 +1,171 @@
+"""Batch quarantine: validate prediction-log batches, isolate the bad ones.
+
+A long-running :class:`~repro.streaming.SliceMonitor` must not die because
+one upstream batch arrived with NaN errors or a wrong column count — it
+quarantines the batch with a structured reason and keeps ticking on the
+healthy window.  :func:`validate_batch` is the single source of truth for
+what "healthy" means (mirroring the contracts :func:`repro.core.slice_line`
+enforces at its own boundary), and :class:`BatchQuarantine` is the holding
+pen: an in-memory record list, optionally persisted to disk
+(``--quarantine-dir``) as ``.npz`` + ``.json`` pairs for offline
+inspection.
+
+Validation is duck-typed over ``batch.x0`` / ``batch.errors`` on purpose:
+corrupt batches — from a buggy producer or the chaos injector — may bypass
+:class:`~repro.streaming.PredictionBatch` construction-time checks entirely,
+so the monitor re-validates what actually arrives.
+
+This module imports nothing from :mod:`repro.streaming` at module scope so
+the streaming layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """Why one batch was quarantined.
+
+    ``reason`` is machine-readable (stable vocabulary:
+    ``shape-mismatch``, ``nonfinite-errors``, ``negative-errors``,
+    ``encoding``, ``feature-mismatch``); ``detail`` is the human-readable
+    specifics.
+    """
+
+    batch_id: int
+    timestamp: float
+    reason: str
+    detail: str
+    num_rows: int | None = None
+    num_features: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "batch_id": self.batch_id,
+            "timestamp": self.timestamp,
+            "reason": self.reason,
+            "detail": self.detail,
+            "num_rows": self.num_rows,
+            "num_features": self.num_features,
+        }
+
+
+def validate_batch(batch, expected_features: int | None = None):
+    """Return ``(reason, detail)`` when *batch* is unhealthy, else ``None``.
+
+    Checks, in order: array shapes and x0/errors row alignment, error-vector
+    finiteness and sign, the 1-based integer encoding contract of ``x0``
+    (0 allowed as the missing code), and — when *expected_features* is given
+    — agreement with the feature count the monitor is tracking.
+    """
+    try:
+        x0 = np.asarray(batch.x0)
+        errors = np.asarray(batch.errors, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        return "shape-mismatch", f"batch arrays are not numeric: {exc}"
+    if errors.ndim == 2 and 1 in errors.shape:
+        errors = errors.ravel()
+    if x0.ndim != 2 or x0.size == 0:
+        return "shape-mismatch", f"x0 must be a non-empty 2-D matrix, got shape {x0.shape}"
+    if errors.ndim != 1 or errors.shape[0] != x0.shape[0]:
+        return (
+            "shape-mismatch",
+            f"errors has shape {np.asarray(batch.errors).shape}, expected "
+            f"({x0.shape[0]},) to align with x0 rows",
+        )
+    if not np.isfinite(errors).all():
+        bad = int(np.count_nonzero(~np.isfinite(errors)))
+        return "nonfinite-errors", f"{bad} NaN/inf entries in the error vector"
+    if (errors < 0).any():
+        bad = int(np.count_nonzero(errors < 0))
+        return "negative-errors", f"{bad} negative entries in the error vector"
+    if not np.issubdtype(x0.dtype, np.integer):
+        if not np.isfinite(x0).all():
+            return "encoding", "x0 holds NaN/inf values"
+        as_int = x0.astype(np.int64)
+        if not np.array_equal(as_int, x0):
+            return "encoding", "x0 holds fractional codes (recode/bin first)"
+        x0 = as_int
+    if x0.min() < 0:
+        return "encoding", "x0 codes must be >= 0 (1-based; 0 marks missing)"
+    if expected_features is not None and x0.shape[1] != expected_features:
+        return (
+            "feature-mismatch",
+            f"batch has {x0.shape[1]} features, monitor tracks "
+            f"{expected_features}",
+        )
+    return None
+
+
+class BatchQuarantine:
+    """Holding pen for batches that failed validation.
+
+    Parameters
+    ----------
+    persist_dir:
+        When given, each quarantined batch is persisted as
+        ``batch-<id>.npz`` (the raw arrays, so the offending data can be
+        replayed/inspected offline) plus ``batch-<id>.json`` (the
+        :class:`QuarantineRecord`).  Created on first use.
+    """
+
+    def __init__(self, persist_dir: str | None = None) -> None:
+        self.persist_dir = persist_dir
+        self.records: list[QuarantineRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def reasons(self) -> dict[str, int]:
+        """Histogram of quarantine reasons."""
+        out: dict[str, int] = {}
+        for record in self.records:
+            out[record.reason] = out.get(record.reason, 0) + 1
+        return out
+
+    def admit(self, batch, expected_features: int | None = None):
+        """Validate *batch*; quarantine and return the record when unhealthy.
+
+        Returns ``None`` for a healthy batch (the caller should ingest it)
+        or the :class:`QuarantineRecord` for a quarantined one (the caller
+        must drop it).
+        """
+        verdict = validate_batch(batch, expected_features=expected_features)
+        if verdict is None:
+            return None
+        reason, detail = verdict
+        x0 = np.asarray(batch.x0)
+        record = QuarantineRecord(
+            batch_id=int(getattr(batch, "batch_id", -1)),
+            timestamp=float(getattr(batch, "timestamp", 0.0)),
+            reason=reason,
+            detail=detail,
+            num_rows=int(x0.shape[0]) if x0.ndim >= 1 else None,
+            num_features=int(x0.shape[1]) if x0.ndim == 2 else None,
+        )
+        self.records.append(record)
+        if self.persist_dir is not None:
+            self._persist(batch, record)
+        return record
+
+    def _persist(self, batch, record: QuarantineRecord) -> None:
+        os.makedirs(self.persist_dir, exist_ok=True)
+        stem = os.path.join(
+            self.persist_dir, f"batch-{record.batch_id:06d}"
+        )
+        np.savez(
+            stem + ".npz",
+            x0=np.asarray(batch.x0),
+            errors=np.asarray(batch.errors, dtype=np.float64),
+        )
+        with open(stem + ".json", "w") as handle:
+            json.dump(record.to_dict(), handle, indent=2, sort_keys=True)
+
+
+__all__ = ["BatchQuarantine", "QuarantineRecord", "validate_batch"]

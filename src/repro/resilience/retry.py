@@ -1,0 +1,212 @@
+"""Retry with exponential backoff + straggler reassignment for pure tasks.
+
+The distributed paths (partition workers in
+:class:`~repro.distributed.DistributedPForExecutor` and the partitioned
+streaming accumulation) run *pure* tasks: each computes partial statistics
+from an immutable row partition, so a task can be re-executed — or executed
+twice concurrently — without affecting the result.  That purity is what
+makes cheap fault tolerance exact:
+
+* a **failed** task is retried with exponential backoff and deterministic
+  jitter (derived by hash from ``(seed, task, attempt)``, never from global
+  RNG state, so runs are reproducible);
+* a **straggler** past ``straggler_timeout_s`` is *reassigned* — a backup
+  copy is submitted and whichever copy finishes first wins (speculative
+  execution, the classic MapReduce trick);
+* results are collected **by task index**, so the driver-side merge order
+  is independent of completion/retry order; combined with the exact
+  associative merge of :class:`~repro.streaming.MergeableSliceStats`, final
+  statistics are bitwise identical to a fault-free run.
+
+This module imports nothing from :mod:`repro.core` / :mod:`repro.streaming`
+so either side can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigError, ExecutionError
+
+
+def unit_hash(*key) -> float:
+    """Deterministic hash of *key* into ``[0, 1)`` (no RNG state involved)."""
+    digest = hashlib.sha256(repr(key).encode()).digest()
+    (value,) = struct.unpack("<Q", digest[:8])
+    return value / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed and straggling tasks are re-executed.
+
+    ``max_attempts`` counts executions of one task including the first (so
+    ``1`` disables retries); the delay before attempt ``a+1`` is
+    ``min(backoff_base_s * backoff_multiplier**(a-1), backoff_cap_s)``
+    scaled by a deterministic jitter factor in ``[1 - jitter, 1]`` derived
+    from ``(seed, task, attempt)``.  ``straggler_timeout_s`` bounds how long
+    the driver waits for any single attempt before submitting a backup copy
+    of the task (``None`` disables speculative reassignment).
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 0.02
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 1.0
+    jitter: float = 0.5
+    straggler_timeout_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.straggler_timeout_s is not None and self.straggler_timeout_s <= 0:
+            raise ConfigError("straggler_timeout_s must be > 0")
+
+    def backoff_delay(self, task: int, attempt: int) -> float:
+        """Jittered delay before re-running *task* after failed *attempt*."""
+        base = min(
+            self.backoff_base_s * self.backoff_multiplier ** max(attempt - 1, 0),
+            self.backoff_cap_s,
+        )
+        factor = 1.0 - self.jitter * unit_hash(self.seed, task, attempt)
+        return base * factor
+
+
+@dataclass
+class RetryStats:
+    """What fault handling actually did during one :func:`map_with_retries`."""
+
+    #: total task executions, including first attempts and backups
+    attempts: int = 0
+    #: re-executions after a failure (the ``retry.attempt`` counter)
+    retries: int = 0
+    #: backup copies submitted after a straggler timeout
+    stragglers_reassigned: int = 0
+    #: last error message per task index that needed >= 1 retry
+    errors: dict = field(default_factory=dict)
+
+    def merge_into(self, counters=None, tracer_span=None) -> None:
+        """Publish onto a counter registry / span (both optional)."""
+        if counters is not None and self.retries:
+            counters.event("retry.attempt", self.retries)
+        if tracer_span is not None:
+            tracer_span.annotate(
+                attempts=self.attempts,
+                retries=self.retries,
+                stragglers_reassigned=self.stragglers_reassigned,
+            )
+
+
+def map_with_retries(
+    fn,
+    items,
+    *,
+    policy: RetryPolicy | None = None,
+    num_threads: int = 1,
+    sleep=time.sleep,
+    task_name: str = "task",
+) -> tuple[list, RetryStats]:
+    """Run ``fn(item, attempt)`` per item with retries; results in item order.
+
+    *fn* receives the 1-based attempt number so fault injectors can make
+    attempt 1 fail and attempt 2 succeed deterministically; ordinary callers
+    just ignore it.  Exceptions (any :class:`Exception`) are retried up to
+    ``policy.max_attempts`` executions with backoff; exhaustion raises
+    :class:`~repro.exceptions.ExecutionError` carrying the last cause.
+
+    With ``num_threads > 1`` the tasks run on a transient thread pool; when
+    ``policy.straggler_timeout_s`` is set, the driver waits at most that
+    long for each task before submitting a backup copy (attempt numbers of
+    backups continue past ``max_attempts`` so a deterministic injector that
+    caps its faults per task leaves them clean) and takes whichever copy
+    completes first.  Because tasks are pure and results are collected by
+    index, retry and completion order never affect the returned list.
+    """
+    policy = policy or RetryPolicy()
+    stats = RetryStats()
+    stats_lock = threading.Lock()
+    items = list(items)
+
+    def attempt_loop(index: int, item, first_attempt: int = 1):
+        attempt = first_attempt
+        while True:
+            with stats_lock:
+                stats.attempts += 1
+            try:
+                return fn(item, attempt)
+            except Exception as exc:  # noqa: BLE001 — retry any task failure
+                with stats_lock:
+                    stats.errors[index] = repr(exc)
+                if attempt - first_attempt + 1 >= policy.max_attempts:
+                    raise ExecutionError(
+                        f"{task_name} {index} failed after "
+                        f"{attempt - first_attempt + 1} attempts: {exc!r}"
+                    ) from exc
+                with stats_lock:
+                    stats.retries += 1
+                sleep(policy.backoff_delay(index, attempt))
+                attempt += 1
+
+    if num_threads <= 1 or len(items) <= 1:
+        results = [attempt_loop(i, item) for i, item in enumerate(items)]
+        return results, stats
+
+    results: list = [None] * len(items)
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        futures = [
+            pool.submit(attempt_loop, i, item) for i, item in enumerate(items)
+        ]
+        for index, future in enumerate(futures):
+            if policy.straggler_timeout_s is None:
+                results[index] = future.result()
+                continue
+            try:
+                results[index] = future.result(
+                    timeout=policy.straggler_timeout_s
+                )
+                continue
+            except FuturesTimeoutError:
+                pass
+            # Straggler: submit a backup copy and take the first finisher.
+            # Backup attempts are numbered past max_attempts so seeded
+            # injectors (which cap faults per task) leave them clean.
+            stats.stragglers_reassigned += 1
+            backup = pool.submit(
+                attempt_loop, index, items[index],
+                policy.max_attempts * (stats.stragglers_reassigned + 1),
+            )
+            waiting = {future, backup}
+            winner = None
+            last_error: BaseException | None = None
+            while waiting and winner is None:
+                done, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+                for finished in done:
+                    if finished.exception() is None:
+                        winner = finished
+                        break
+                    last_error = finished.exception()
+            if winner is None:
+                raise ExecutionError(
+                    f"{task_name} {index} failed on both the original and "
+                    f"the reassigned copy: {last_error!r}"
+                ) from last_error
+            results[index] = winner.result()
+    return results, stats
+
+
+__all__ = ["RetryPolicy", "RetryStats", "map_with_retries", "unit_hash"]

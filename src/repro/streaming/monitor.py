@@ -34,6 +34,8 @@ from repro.core.types import Slice, SliceLineResult
 from repro.exceptions import StreamingError
 from repro.obs import Tracer, resolve_tracer
 from repro.obs.export import run_to_dict
+from repro.resilience.budgets import BudgetConfig
+from repro.resilience.quarantine import BatchQuarantine, QuarantineRecord
 from repro.streaming.accumulator import MergeableSliceStats, merge_stats
 from repro.streaming.batches import PredictionBatch
 from repro.streaming.drift import DriftSignal, drift_signals
@@ -86,6 +88,7 @@ class MonitorTick:
             "rows_rescanned": self.rows_rescanned,
             "num_drift_signals": len(self.drift),
             "num_degraded": len(self.degraded_slices()),
+            "completed": self.result.completed,
         }
         return doc
 
@@ -113,6 +116,16 @@ class SliceMonitor:
     trace:
         Same switch as :func:`repro.core.slice_line`; spans of the inner
         runs nest under each tick's ``monitor.tick`` span.
+    quarantine_dir:
+        When given, quarantined batches are persisted here as ``.npz`` +
+        ``.json`` pairs for offline inspection (see
+        :class:`~repro.resilience.BatchQuarantine`); quarantine itself is
+        always on — an unhealthy batch never reaches the window.
+    budgets:
+        Optional :class:`~repro.resilience.BudgetConfig` forwarded to every
+        tick's inner :func:`~repro.core.slice_line` run, bounding per-tick
+        enumeration wall-clock/candidates/memory; a budget-tripped tick
+        reports ``tick.result.completed = False`` and keeps monitoring.
     """
 
     def __init__(
@@ -123,6 +136,8 @@ class SliceMonitor:
         warm_start: bool = True,
         num_threads: int = 1,
         trace: bool | str | Tracer | None = None,
+        quarantine_dir: str | None = None,
+        budgets: BudgetConfig | None = None,
     ) -> None:
         self.config = config or SliceLineConfig()
         self.policy = policy
@@ -132,16 +147,41 @@ class SliceMonitor:
         size = window_size if policy == "sliding" else None
         self.window = StreamWindow(size=size, policy=policy)
         self.tracked: list[Slice] = []
+        self.quarantine = BatchQuarantine(persist_dir=quarantine_dir)
+        self.budgets = budgets
         self._baseline: MergeableSliceStats | None = None
         self._version = 0
         self._num_ticks = 0
+        self._expected_features: int | None = None
         self.ticks: list[MonitorTick] = []
 
     # -- ingestion -----------------------------------------------------------
 
-    def ingest(self, batch: PredictionBatch) -> None:
-        """Append one mini-batch to the window (evicting under sliding)."""
+    def ingest(self, batch: PredictionBatch) -> QuarantineRecord | None:
+        """Validate and append one mini-batch to the window.
+
+        A healthy batch is pushed (evicting under sliding) and ``None`` is
+        returned; an unhealthy one — NaN/inf or negative errors, misaligned
+        shapes, broken integer encoding, or a feature count disagreeing
+        with what the monitor has been fed so far — is quarantined instead,
+        and its :class:`~repro.resilience.QuarantineRecord` is returned.
+        The monitor keeps ticking on the healthy window either way.
+        """
+        record = self.quarantine.admit(
+            batch, expected_features=self._expected_features
+        )
+        if record is not None:
+            with self.tracer.span(
+                "quarantine.batch",
+                batch_id=record.batch_id,
+                reason=record.reason,
+            ):
+                pass
+            return record
+        if self._expected_features is None:
+            self._expected_features = int(batch.x0.shape[1])
         self.window.push(batch)
+        return None
 
     # -- the tick ------------------------------------------------------------
 
@@ -191,6 +231,7 @@ class SliceMonitor:
                 num_threads=self.num_threads,
                 trace=self.tracer,
                 seed_slices=seeds,
+                budgets=self.budgets,
             )
 
             # (3) rotate: promote the new top-K and snapshot the baseline.
