@@ -187,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are identical; this only changes kernel speed)",
     )
     parser.add_argument(
+        "--kernel-backend",
+        choices=("auto", "sparse", "bitset", "incremental"),
+        default="auto",
+        help="evaluation-kernel backend; 'auto' picks per level via a cost "
+        "model (results are identical; this only changes kernel speed)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="print per-level pruning counters and the timed span tree",
     )
@@ -279,6 +286,13 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         "(results are identical; this only changes kernel speed)",
     )
     parser.add_argument(
+        "--kernel-backend",
+        choices=("auto", "sparse", "bitset", "incremental"),
+        default="auto",
+        help="evaluation-kernel backend; 'auto' picks per level via a cost "
+        "model (results are identical; this only changes kernel speed)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="print each tick's span tree (monitor.tick and nested runs)",
     )
@@ -316,6 +330,7 @@ def monitor_main(argv: list[str]) -> int:
         config = SliceLineConfig(
             k=args.k, sigma=args.sigma, alpha=args.alpha,
             max_level=args.max_level, compaction=not args.no_compaction,
+            kernel_backend=args.kernel_backend,
         )
         monitor = SliceMonitor(
             config=config,
@@ -424,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
         finder = SliceLine(
             k=args.k, sigma=args.sigma, alpha=args.alpha,
             max_level=args.max_level, compaction=not args.no_compaction,
+            kernel_backend=args.kernel_backend,
             trace=("memory" if args.trace_memory else True) if tracing else None,
             budgets=_budgets_from_args(args),
             checkpoint_dir=args.checkpoint_dir,

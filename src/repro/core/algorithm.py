@@ -41,7 +41,7 @@ from repro.exceptions import (
     InvalidErrorsError,
     ShapeError,
 )
-from repro.linalg import KernelWorkspace, ensure_vector
+from repro.linalg import KernelState, KernelWorkspace, ensure_vector
 from repro.obs import NULL_TRACER, CounterRegistry, Tracer, resolve_tracer
 from repro.resilience.budgets import (
     BudgetConfig,
@@ -256,7 +256,11 @@ def slice_line(
 
     # One kernel workspace (persistent thread pool) serves seed evaluation
     # and every level; the context manager guarantees pool shutdown even
-    # when a kernel or pair join raises mid-run.
+    # when a kernel or pair join raises mid-run.  One kernel state carries
+    # the per-level backend decision and the incremental backend's
+    # parent-indicator cache across levels (a resumed run starts with an
+    # empty cache — its first level falls back, results are unchanged).
+    kernels = KernelState(cfg.kernel_backend)
     with KernelWorkspace(num_threads) as workspace:
         # -- optional warm start: merge re-scored seeds into the top-K -------
         if seed_slices is not None and resume_state is None:
@@ -286,7 +290,7 @@ def slice_line(
             tripped = False
             with tracer.span(f"level{level}", level=level) as level_span:
                 with tracer.span(f"level{level}.pairs", parents=slices.shape[0]):
-                    slices, bounds = get_pair_candidates(
+                    slices, bounds, parents = get_pair_candidates(
                         slices,
                         stats,
                         level,
@@ -299,6 +303,7 @@ def slice_line(
                         pruning=cfg.pruning,
                         level_stats=current,
                         tracer=tracer,
+                        return_parents=True,
                     )
                 if tracker is not None and slices.shape[0] > 0:
                     trip = tracker.check_candidates(level, int(slices.shape[0]))
@@ -330,7 +335,10 @@ def slice_line(
                     coverage = None
                     if compact is not None:
                         with tracer.span(f"level{level}.compact") as compact_span:
-                            compact.begin_level(slices)
+                            alive_local = compact.begin_level(slices)
+                            # The cached parent indicators are row-aligned
+                            # with the evaluation matrix; follow the drop.
+                            kernels.select_rows(alive_local)
                             slices_eval = compact.project_slices(slices)
                             coverage = compact.new_coverage()
                             compact_span.annotate(
@@ -342,8 +350,12 @@ def slice_line(
                         x_eval, errors_eval = compact.matrix, compact.errors
                         current.rows_alive = compact.num_rows_alive
                         current.cols_alive = compact.num_cols_alive
+                    current.backend_chosen = kernels.begin_level(
+                        x_eval, level, int(slices.shape[0]), parents=parents
+                    )
                     with tracer.span(
-                        f"level{level}.evaluate", candidates=slices.shape[0]
+                        f"level{level}.evaluate", candidates=slices.shape[0],
+                        backend=current.backend_chosen,
                     ):
                         slices, stats, top_slices, top_stats = _evaluate_level(
                             x_eval, errors_eval, slices, slices_eval, bounds,
@@ -351,7 +363,9 @@ def slice_line(
                             num_threads, current, tracer, workspace=workspace,
                             coverage=coverage, num_rows=num_rows,
                             total_error=total_error, tracker=tracker,
+                            kernels=kernels, parents=parents,
                         )
+                    kernels.end_level()
                     if tracker is not None and tracker.trip is not None:
                         tripped = True
                     if compact is not None:
@@ -586,12 +600,13 @@ def _seed_topk(
                 workspace=workspace, num_rows=num_rows,
                 total_error=total_error,
                 max_error=float(errors.max()) if errors.shape[0] else 0.0,
+                backend=cfg.kernel_backend,
             )
         else:
             raw = evaluate_slice_set(
                 x_projected, seed_matrix, errors,
                 block_size=cfg.block_size, num_threads=num_threads,
-                workspace=workspace,
+                workspace=workspace, backend=cfg.kernel_backend,
             )
         seed_stats = stats_matrix(
             score(raw.sizes, raw.errors, num_rows, total_error, cfg.alpha),
@@ -631,6 +646,8 @@ def _evaluate_level(
     num_rows=None,
     total_error=None,
     tracker=None,
+    kernels=None,
+    parents=None,
 ):
     """Evaluate one level's candidates, optionally in priority order.
 
@@ -646,7 +663,10 @@ def _evaluate_level(
     top-K, decoding, and the next pair join); *slices_eval* is the same
     slice set with columns remapped for the (possibly compacted) *x_eval* —
     the two are one object when compaction is off.  All reorderings and
-    chunk splits are applied to both in lockstep.
+    chunk splits are applied to both in lockstep — and to *parents* (the
+    per-candidate parent ids feeding the incremental kernel backend), so
+    the indicator cache blocks land in exactly the evaluation order the
+    next level's parent ids will index.
 
     When *tracker* carries a wall-clock deadline, the deadline is checked
     between evaluation chunks so one level cannot overshoot it by more than
@@ -674,6 +694,7 @@ def _evaluate_level(
             block_size=cfg.block_size, num_threads=num_threads,
             tracer=tracer, counters=current, workspace=workspace,
             coverage=coverage, num_rows=num_rows, total_error=total_error,
+            kernels=kernels, parents=parents,
         )
         current.evaluated = int(slices.shape[0])
         top_slices, top_stats = maintain_topk(
@@ -699,6 +720,12 @@ def _evaluate_level(
                 block_size=cfg.block_size, num_threads=num_threads,
                 tracer=tracer, counters=current, workspace=workspace,
                 coverage=coverage, num_rows=num_rows, total_error=total_error,
+                kernels=kernels,
+                parents=(
+                    parents[position : position + cfg.priority_chunk]
+                    if parents is not None
+                    else None
+                ),
             )
             kept_slices.append(chunk)
             kept_stats.append(chunk_stats)
@@ -719,6 +746,8 @@ def _evaluate_level(
     slices = slices[order]
     slices_eval = slices if shared else slices_eval[order]
     bounds = bounds[order]
+    if parents is not None:
+        parents = parents[order]
     kept_slices = []
     kept_stats = []
     position = 0
@@ -735,6 +764,12 @@ def _evaluate_level(
             block_size=cfg.block_size, num_threads=num_threads,
             tracer=tracer, counters=current, workspace=workspace,
             coverage=coverage, num_rows=num_rows, total_error=total_error,
+            kernels=kernels,
+            parents=(
+                parents[position : position + cfg.priority_chunk]
+                if parents is not None
+                else None
+            ),
         )
         kept_slices.append(chunk)
         kept_stats.append(chunk_stats)
@@ -827,6 +862,7 @@ class SliceLine:
         trace: bool | str | Tracer | None = None,
         budgets: BudgetConfig | None = None,
         checkpoint_dir: str | None = None,
+        kernel_backend: str = "auto",
     ) -> None:
         self.k = k
         self.sigma = sigma
@@ -835,6 +871,7 @@ class SliceLine:
         self.block_size = block_size
         self.pruning = pruning or PruningConfig()
         self.compaction = compaction
+        self.kernel_backend = kernel_backend
         self.num_threads = num_threads
         self.trace = trace
         self.budgets = budgets
@@ -851,6 +888,7 @@ class SliceLine:
             block_size=self.block_size,
             pruning=self.pruning,
             compaction=self.compaction,
+            kernel_backend=self.kernel_backend,
         )
 
     def fit(

@@ -111,6 +111,13 @@ class SliceLineConfig:
     priority_evaluation: bool = True
     #: candidates evaluated between two re-pruning steps in priority mode
     priority_chunk: int = 8192
+    #: evaluation-kernel backend (see :mod:`repro.linalg.kernels`):
+    #: ``"auto"`` lets a per-level cost model pick between the sparse
+    #: CSR x CSC path, the packed-bitset path, and the incremental
+    #: parent-indicator path; explicit names force one backend (subject to
+    #: its preconditions — a backend whose preconditions fail falls back).
+    #: All choices are bitwise identical; this only changes kernel speed.
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -126,6 +133,11 @@ class SliceLineConfig:
         if self.priority_chunk < 1:
             raise ConfigError(
                 f"priority_chunk must be >= 1, got {self.priority_chunk}"
+            )
+        if self.kernel_backend not in ("auto", "sparse", "bitset", "incremental"):
+            raise ConfigError(
+                "kernel_backend must be one of 'auto', 'sparse', 'bitset', "
+                f"'incremental', got {self.kernel_backend!r}"
             )
 
     def resolve_sigma(self, num_rows: int) -> int:

@@ -34,6 +34,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import ValidationError
 from repro.linalg import (
+    KernelState,
     KernelWorkspace,
     as_csr,
     col_maxs,
@@ -42,6 +43,7 @@ from repro.linalg import (
     resolve_workspace,
     row_nnz,
 )
+from repro.linalg.kernels import BITSET_CHUNK, is_binary_matrix, words_block_stats
 from repro.core.scoring import score
 from repro.core.types import stats_matrix
 from repro.obs import NULL_TRACER
@@ -119,6 +121,74 @@ def evaluate_block(
     return sizes, slice_errors, max_errors
 
 
+def _evaluate_words_level(
+    x_onehot: sp.csr_matrix,
+    errors: np.ndarray,
+    slices: sp.csr_matrix,
+    level: int,
+    kernels: KernelState,
+    parents: np.ndarray | None,
+    num_threads: int,
+    workspace: KernelWorkspace | None = None,
+    coverage: np.ndarray | None = None,
+    counters=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(ss, se, sm)`` via the bitset/incremental indicator backends.
+
+    Candidates are processed in fixed :data:`~repro.linalg.kernels.
+    BITSET_CHUNK`-sized chunks — independent of the caller's ``block_size``,
+    which cannot matter here because every candidate's statistics are
+    computed in isolation from its own indicator bitset.  Chunk workers are
+    pure (the miss table is materialized up front, cache appends and
+    counter updates happen serially afterwards in chunk order), so the
+    thread pool never races the per-run kernel state.
+    """
+    num_slices = slices.shape[0]
+    num_rows = x_onehot.shape[0]
+    if not slices.has_sorted_indices:
+        slices = slices.copy()
+        slices.sort_indices()
+    keys = slices.indices.reshape(num_slices, level)
+    track_rows = coverage is not None
+    incremental = kernels.backend == "incremental"
+    if incremental:
+        kernels.prepare_chunks(parents)
+    spans = [
+        (start, min(start + BITSET_CHUNK, num_slices))
+        for start in range(0, num_slices, BITSET_CHUNK)
+    ]
+
+    def run(span):
+        start, stop = span
+        chunk_parents = parents[start:stop] if incremental else None
+        words, hits, misses = kernels.chunk_words(
+            keys[start:stop], chunk_parents
+        )
+        sizes, slice_errors, max_errors, covered = words_block_stats(
+            words, errors, num_rows, track_rows
+        )
+        return sizes, slice_errors, max_errors, covered, words, hits, misses
+
+    ws, transient = resolve_workspace(workspace, num_threads)
+    try:
+        partials = ws.map(run, spans)
+    finally:
+        if transient:
+            ws.close()
+    for partial in partials:
+        if track_rows:
+            np.logical_or(coverage, partial[3], out=coverage)
+        kernels.store_words(partial[4])
+        if counters is not None:
+            counters.cache_hits += partial[5]
+            counters.cache_misses += partial[6]
+    return (
+        np.concatenate([p[0] for p in partials]),
+        np.concatenate([p[1] for p in partials]),
+        np.concatenate([p[2] for p in partials]),
+    )
+
+
 def _evaluate_uniform_level(
     x_onehot: sp.csr_matrix,
     errors: np.ndarray,
@@ -128,13 +198,24 @@ def _evaluate_uniform_level(
     num_threads: int,
     workspace: KernelWorkspace | None = None,
     coverage: np.ndarray | None = None,
+    kernels: KernelState | None = None,
+    parents: np.ndarray | None = None,
+    counters=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Blocked ``(ss, se, sm)`` evaluation of same-level slices.
 
-    The transpose ``S^T`` is materialized once in CSC form; each block is a
+    With a prepared :class:`~repro.linalg.KernelState` whose per-level
+    decision is not ``"sparse"``, evaluation is delegated to the bitset /
+    incremental backends (bitwise identical by construction).  Otherwise
+    the transpose ``S^T`` is materialized once in CSC form; each block is a
     column slice of it.  When *coverage* (a boolean vector over the data
     rows) is given, rows matching >= 1 evaluated slice are OR-ed into it.
     """
+    if kernels is not None and kernels.backend != "sparse":
+        return _evaluate_words_level(
+            x_onehot, errors, slices, level, kernels, parents, num_threads,
+            workspace=workspace, coverage=coverage, counters=counters,
+        )
     num_slices = slices.shape[0]
     slices_t = slices.T.tocsc()
     blocks = [
@@ -171,6 +252,7 @@ def evaluate_slice_set(
     num_rows: int | None = None,
     total_error: float | None = None,
     max_error: float | None = None,
+    backend: str = "sparse",
 ) -> SliceSetStats:
     """Evaluate a *fixed*, possibly mixed-level slice set against a dataset.
 
@@ -199,9 +281,17 @@ def evaluate_slice_set(
     :class:`repro.streaming.MergeableSliceStats` and a vectorized
     replacement for per-slice :func:`~repro.core.decode.slice_membership`
     loops.
+
+    *backend* selects the evaluation kernel (see
+    :mod:`repro.linalg.kernels`): ``"sparse"`` (the default, and always
+    exact), ``"bitset"``, ``"auto"``, or ``"incremental"`` — the last has
+    no parent cache outside the enumeration and therefore degrades to the
+    bitset backend when the data permits.  Results are bitwise identical
+    for every choice.
     """
     if block_size < 1:
         raise ValidationError("block_size must be >= 1")
+    kernels = KernelState(backend) if backend != "sparse" else None
     errors = ensure_vector(errors, x_onehot.shape[0], "errors")
     if num_rows is None:
         num_rows = x_onehot.shape[0]
@@ -233,9 +323,15 @@ def evaluate_slice_set(
                     float(errors.max()) if errors.shape[0] else 0.0
                 )
             continue
+        group = slices[members]
+        if kernels is not None:
+            kernels.begin_level(
+                x_onehot, int(level), int(members.size),
+                slices_binary=is_binary_matrix(group),
+            )
         group_sizes, group_errors, group_max = _evaluate_uniform_level(
-            x_onehot, errors, slices[members], int(level), block_size,
-            num_threads, workspace=workspace,
+            x_onehot, errors, group, int(level), block_size,
+            num_threads, workspace=workspace, kernels=kernels,
         )
         sizes[members] = group_sizes
         slice_errors[members] = group_errors
@@ -257,6 +353,8 @@ def evaluate_slices(
     coverage: np.ndarray | None = None,
     num_rows: int | None = None,
     total_error: float | None = None,
+    kernels: KernelState | None = None,
+    parents: np.ndarray | None = None,
 ) -> np.ndarray:
     """Evaluate all candidate *slices* and return their ``R`` statistics.
 
@@ -276,6 +374,11 @@ def evaluate_slices(
     :class:`~repro.obs.LevelCounters` record is passed as *counters*, the
     indicator fill (total row-slice memberships, which equals ``nnz(I)``)
     is accumulated on it.
+
+    *kernels* is the driver's per-run :class:`~repro.linalg.KernelState`
+    (already positioned at this level via ``begin_level``); *parents* the
+    candidates' parent-pair ids for its incremental backend.  Omitting both
+    keeps the sparse path — the default for every external caller.
     """
     if block_size < 1:
         raise ValidationError("block_size must be >= 1")
@@ -295,10 +398,12 @@ def evaluate_slices(
         num_slices=num_slices,
         blocks=num_blocks,
         threads=num_threads,
+        backend=kernels.backend if kernels is not None else "sparse",
     ):
         sizes, slice_errors, max_errors = _evaluate_uniform_level(
             x_onehot, errors, slices, level, block_size, num_threads,
-            workspace=workspace, coverage=coverage,
+            workspace=workspace, coverage=coverage, kernels=kernels,
+            parents=parents, counters=counters,
         )
     if counters is not None:
         # Every stored entry of I = (X S^T == L) is one (row, slice)

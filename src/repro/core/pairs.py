@@ -93,7 +93,10 @@ def get_pair_candidates(
     pruning: PruningConfig | None = None,
     level_stats: LevelCounters | None = None,
     tracer=NULL_TRACER,
-) -> tuple[sp.csr_matrix, np.ndarray | None]:
+    return_parents: bool = False,
+) -> tuple[sp.csr_matrix, np.ndarray | None] | tuple[
+    sp.csr_matrix, np.ndarray | None, np.ndarray | None
+]:
     """Generate deduplicated, pruned candidate slices for *level*.
 
     *slices*/*stats* are the evaluated slices of level ``L-1`` and their
@@ -109,12 +112,28 @@ def get_pair_candidates(
     them for priority evaluation.  When *level_stats* is given, per-step
     counters are recorded into it; when *tracer* is given, the join,
     deduplication, and pruning steps report spans into it.
+
+    With ``return_parents=True`` a third element is returned: a
+    ``num_candidates x 2`` int64 matrix naming, per emitted candidate, one
+    generating pair of parents as row indices into the *input* ``slices``
+    (pre-filter positions, i.e. the previous level's evaluated-slice
+    order).  Any generating pair works for the incremental-indicator
+    backend — the candidate's row indicator is the AND of the two parents'
+    indicators whichever pair produced it — so the deduplication
+    representative is used.
     """
     pruning = pruning or PruningConfig()
     recorder = level_stats or LevelCounters(level=level)
     num_cols = slices.shape[1]
     empty = sp.csr_matrix((0, num_cols), dtype=np.float64)
     recorder.input_slices += int(slices.shape[0])
+
+    def _result(matrix, bounds, parents):
+        if return_parents:
+            return matrix, bounds, parents
+        return matrix, bounds
+
+    keep_idx = np.arange(slices.shape[0], dtype=np.int64)
 
     # -- step 1: prune invalid input slices ---------------------------------
     if pruning.filter_input_slices:
@@ -135,10 +154,11 @@ def get_pair_candidates(
             )
             keep &= (parent_bound > topk_min_score) & (parent_bound >= 0.0)
         recorder.input_filtered += int(keep.size - np.count_nonzero(keep))
-        slices = slices[np.flatnonzero(keep)]
+        keep_idx = np.flatnonzero(keep)
+        slices = slices[keep_idx]
         stats = stats[keep]
     if slices.shape[0] < 2:
-        return empty, None
+        return _result(empty, None, None)
 
     # -- steps 2-5: streamed join, merge, validity, early pruning ------------
     acc = _PairAccumulator()
@@ -187,7 +207,7 @@ def get_pair_candidates(
                 acc.append(keys, left, right, size_ub, error_ub, max_error_ub)
         join_span.annotate(pairs=recorder.pairs_generated)
     if acc.empty:
-        return empty, None
+        return _result(empty, None, None)
     keys, left, right, size_ub, error_ub, max_error_ub = acc.concatenated()
     recorder.candidates_before_dedup += int(keys.shape[0])
 
@@ -244,12 +264,26 @@ def get_pair_candidates(
         kept = np.flatnonzero(keep_mask)
         prune_span.annotate(kept=int(kept.size))
     if kept.size == 0:
-        return empty, None
+        return _result(empty, None, None)
     recorder.candidates_emitted += int(kept.size)
     recorder.candidates_nnz += int(kept.size) * level
-    return (
+    parents: np.ndarray | None = None
+    if return_parents:
+        if pruning.deduplicate:
+            rep_left = left[first_index]
+            rep_right = right[first_index]
+        else:
+            rep_left, rep_right = left, right
+        # Map the representatives back through the input filter so they
+        # index the caller's (pre-filter) evaluated-slice order — the same
+        # order the incremental backend's indicator cache is aligned to.
+        parents = np.stack(
+            [keep_idx[rep_left[kept]], keep_idx[rep_right[kept]]], axis=1
+        )
+    return _result(
         _keys_to_matrix(unique_keys[kept], level, num_cols),
         bounds[kept] if bounds is not None else None,
+        parents,
     )
 
 

@@ -35,9 +35,29 @@ from repro.linalg.sparse import (
     vstack_rows,
 )
 from repro.linalg.blocks import BlockedMatrix, row_partitions
+from repro.linalg.kernels import (
+    BACKENDS,
+    BitsetTable,
+    IndicatorCache,
+    KernelState,
+    choose_backend,
+    pack_bool_rows,
+    popcount_rows,
+    unpack_bool_rows,
+    words_block_stats,
+)
 from repro.linalg.workspace import KernelWorkspace, resolve_workspace
 
 __all__ = [
+    "BACKENDS",
+    "BitsetTable",
+    "IndicatorCache",
+    "KernelState",
+    "choose_backend",
+    "pack_bool_rows",
+    "popcount_rows",
+    "unpack_bool_rows",
+    "words_block_stats",
     "col_maxs",
     "col_mins",
     "col_sums",

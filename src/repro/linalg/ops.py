@@ -257,12 +257,32 @@ def iter_upper_tri_pair_chunks(slices: Matrix, overlap: float):
         return
     st = s.T.tocsc()
     chunk = max(1, _PAIR_CHUNK_CELLS // max(nr, 1))
+    dense = overlap == 0
     for start in range(0, nr - 1, chunk):
         stop = min(start + chunk, nr - 1)
-        gram = (s[start:stop] @ st).toarray()
-        match = gram == overlap
+        product = s[start:stop] @ st
+        if dense:
+            # Only the dense comparison sees the Gram matrix's implicit
+            # zeros, which DO count as matches when overlap == 0 (two
+            # fully disjoint slices have dot product 0 without a stored
+            # entry).  Positive overlaps never need this: every stored
+            # entry of the 0/1 Gram matrix is positive, so an implicit
+            # zero cannot equal overlap >= 1.
+            match = product.toarray() == overlap
+            local_rows, cols = np.nonzero(match)
+        else:
+            product = product.tocsr()
+            # Canonical CSR order makes the stored-entry scan emit matches
+            # in the same row-major, column-ascending order as np.nonzero
+            # on the dense comparison.
+            product.sort_indices()
+            mask = product.data == overlap
+            local_rows = np.repeat(
+                np.arange(product.shape[0], dtype=np.int64),
+                np.diff(product.indptr),
+            )[mask]
+            cols = product.indices[mask].astype(np.int64, copy=False)
         # Keep strictly-upper-triangular entries: global row < column.
-        local_rows, cols = np.nonzero(match)
         global_rows = local_rows + start
         upper = cols > global_rows
         if upper.any():

@@ -31,6 +31,7 @@ _TABLE_COLUMNS = (
     ("evaluated", "evaluated"),
     ("valid", "valid"),
     ("indicator_nnz", "nnz"),
+    ("backend_chosen", "backend"),
     ("elapsed_seconds", "seconds"),
 )
 

@@ -1,0 +1,648 @@
+"""Differential tests for the pluggable evaluation-kernel backends.
+
+The contract under test (see :mod:`repro.linalg.kernels`) is strict
+bitwise equality: every backend — sparse, bitset, incremental, and the
+``auto`` cost model — must produce the exact same floats for every slice
+statistic and the exact same final top-K, across thread counts, block
+sizes, compaction modes, warm starts, cache evictions, checkpoints and
+budgets.  Errors in these tests are dyadic rationals (multiples of 1/16)
+so even *independently recomputed* oracle sums are exact, not merely
+close; the backends themselves must agree bitwise on arbitrary floats,
+which the oracle-free cross-backend assertions cover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.linalg.kernels as kernels_mod
+from repro.core import (
+    FeatureSpace,
+    Slice,
+    SliceLineConfig,
+    encode_slices,
+    evaluate_slice_set,
+    slice_line,
+)
+from repro.exceptions import ValidationError
+from repro.linalg.kernels import (
+    BACKENDS,
+    MIN_BITSET_CANDIDATES,
+    MIN_BITSET_CELLS,
+    BitsetTable,
+    IndicatorCache,
+    KernelState,
+    choose_backend,
+    estimate_table_bytes,
+    is_binary_matrix,
+    num_packed_words,
+    pack_bool_rows,
+    popcount_rows,
+    unpack_bool_rows,
+    words_block_stats,
+)
+from repro.linalg.kernels import _popcount_rows_lut
+from repro.resilience import BudgetConfig
+
+#: The three concrete backends plus the cost model — the full request space.
+ALL_BACKENDS = list(BACKENDS)
+FORCED = ["sparse", "bitset", "incremental"]
+
+
+def backend_problem(seed=7, n=480, m=6):
+    """A problem deep enough that levels 2-3 emit hundreds of candidates.
+
+    Errors are dyadic so any summation order is exact; a planted slice
+    keeps the search from terminating at level 1.
+    """
+    gen = np.random.default_rng(seed)
+    x0 = np.column_stack(
+        [gen.integers(1, 4, size=n) for _ in range(m)]
+    ).astype(np.int64)
+    errors = gen.integers(0, 17, size=n) / 16.0
+    errors[(x0[:, 0] == 1) & (x0[:, 1] == 2)] = 1.0
+    return x0, errors
+
+
+def run_backend(x0, errors, backend, *, num_threads=1, seeds=None, **overrides):
+    config = SliceLineConfig(
+        k=6, sigma=5, kernel_backend=backend, **overrides
+    )
+    return slice_line(
+        x0, errors, config, num_threads=num_threads, seed_slices=seeds
+    )
+
+
+def assert_same_result(ref, other, label=""):
+    """Bitwise equality of two runs' top-K output."""
+    assert np.array_equal(ref.top_stats, other.top_stats), label
+    assert np.array_equal(
+        ref.top_slices_encoded, other.top_slices_encoded
+    ), label
+    assert [s.predicates for s in ref.top_slices] == [
+        s.predicates for s in other.top_slices
+    ], label
+
+
+# ---------------------------------------------------------------------------
+# bit packing and popcount primitives
+
+
+class TestPacking:
+    @pytest.mark.parametrize("num_bits", [0, 1, 7, 8, 63, 64, 65, 130, 511])
+    def test_pack_unpack_round_trip(self, num_bits):
+        gen = np.random.default_rng(num_bits)
+        rows = gen.random((5, num_bits)) < 0.4
+        words = pack_bool_rows(rows)
+        assert words.dtype == np.uint64
+        assert words.shape == (5, num_packed_words(num_bits))
+        assert np.array_equal(unpack_bool_rows(words, num_bits), rows)
+
+    def test_pack_zero_rows(self):
+        words = pack_bool_rows(np.zeros((0, 77), dtype=bool))
+        assert words.shape == (0, num_packed_words(77))
+        assert unpack_bool_rows(words, 77).shape == (0, 77)
+
+    def test_num_packed_words(self):
+        assert num_packed_words(0) == 0
+        assert num_packed_words(1) == 1
+        assert num_packed_words(64) == 1
+        assert num_packed_words(65) == 2
+
+    def test_popcount_matches_unpacked_sum(self):
+        gen = np.random.default_rng(0)
+        rows = gen.random((9, 200)) < 0.3
+        words = pack_bool_rows(rows)
+        expected = rows.sum(axis=1)
+        assert np.array_equal(popcount_rows(words), expected)
+        # The byte-LUT fallback (numpy without np.bitwise_count) must agree.
+        assert np.array_equal(_popcount_rows_lut(words), expected)
+
+    def test_popcount_empty_words(self):
+        assert np.array_equal(
+            popcount_rows(np.zeros((3, 0), dtype=np.uint64)),
+            np.zeros(3, dtype=np.int64),
+        )
+
+    def test_is_binary_matrix(self):
+        assert is_binary_matrix(sp.csr_matrix(np.eye(3)))
+        assert is_binary_matrix(sp.csr_matrix((3, 4)))
+        assert not is_binary_matrix(sp.csr_matrix(np.eye(3) * 2.0))
+
+
+# ---------------------------------------------------------------------------
+# block statistics vs an independent dense oracle
+
+
+class TestWordsBlockStats:
+    def build(self, seed, n=150, cols=9):
+        gen = np.random.default_rng(seed)
+        x = (gen.random((n, cols)) < 0.5).astype(np.float64)
+        x[:, 0] = 1.0  # one full column -> a full-coverage slice exists
+        errors = gen.integers(0, 17, size=n) / 16.0
+        return sp.csr_matrix(x), errors
+
+    def test_matches_dense_oracle(self):
+        x, errors = self.build(3)
+        table = BitsetTable.from_matrix(x)
+        dense = x.toarray() != 0
+        # Pairs incl. (0, 0) -> the full slice, and a likely-empty AND.
+        keys = np.array([[0, 0], [1, 2], [3, 4], [5, 6], [7, 8]])
+        words = table.candidate_words(keys)
+        sizes, se, sm, covered = words_block_stats(
+            words, errors, x.shape[0], track_rows=True
+        )
+        for i, (a, b) in enumerate(keys):
+            mask = dense[:, a] & dense[:, b]
+            count = int(mask.sum())
+            assert sizes[i] == float(count)
+            assert se[i] == float(errors[mask].sum())
+            member_max = errors[mask].max() if count else 0.0
+            if 0 < count < x.shape[0]:
+                member_max = max(member_max, 0.0)
+            assert sm[i] == member_max
+        expected_cover = np.zeros(x.shape[0], dtype=bool)
+        for a, b in keys:
+            expected_cover |= dense[:, a] & dense[:, b]
+        assert np.array_equal(covered, expected_cover)
+
+    def test_empty_block(self):
+        _, errors = self.build(4)
+        sizes, se, sm, covered = words_block_stats(
+            np.zeros((0, 3), dtype=np.uint64), errors, errors.size, True
+        )
+        assert sizes.shape == (0,)
+        assert not covered.any()
+
+
+# ---------------------------------------------------------------------------
+# the cost model: `auto` never violates a backend's preconditions
+
+
+class TestChooseBackend:
+    KDD98_LEVEL2 = dict(
+        num_rows=1000, num_cols=4446, num_candidates=696_320
+    )
+
+    def test_kdd98_level2_auto_picks_bitset(self):
+        assert (
+            choose_backend(
+                "auto", binary_data=True, cache_ready=False, **self.KDD98_LEVEL2
+            )
+            == "bitset"
+        )
+
+    def test_kdd98_level3_auto_picks_incremental(self):
+        assert (
+            choose_backend(
+                "auto", binary_data=True, cache_ready=True, **self.KDD98_LEVEL2
+            )
+            == "incremental"
+        )
+
+    def test_tiny_level_stays_sparse(self):
+        # Work below MIN_BITSET_CELLS: packing costs more than it saves.
+        assert (
+            choose_backend(
+                "auto",
+                num_rows=100,
+                num_cols=20,
+                num_candidates=50,
+                binary_data=True,
+                cache_ready=True,
+            )
+            == "sparse"
+        )
+        assert 100 * 50 < MIN_BITSET_CELLS
+
+    def test_few_candidates_stay_sparse(self):
+        assert (
+            choose_backend(
+                "auto",
+                num_rows=100_000,
+                num_cols=20,
+                num_candidates=MIN_BITSET_CANDIDATES - 1,
+                binary_data=True,
+                cache_ready=False,
+            )
+            == "sparse"
+        )
+
+    @pytest.mark.parametrize("requested", ALL_BACKENDS)
+    def test_non_binary_always_sparse(self, requested):
+        assert (
+            choose_backend(
+                requested,
+                num_rows=10_000,
+                num_cols=100,
+                num_candidates=10_000,
+                binary_data=False,
+                cache_ready=True,
+            )
+            == "sparse"
+        )
+
+    def test_bitset_over_table_cap_falls_back(self):
+        assert (
+            choose_backend(
+                "bitset",
+                num_rows=1000,
+                num_cols=100,
+                num_candidates=1000,
+                binary_data=True,
+                cache_ready=False,
+                max_table_bytes=8,
+            )
+            == "sparse"
+        )
+
+    def test_incremental_without_cache_degrades_to_bitset(self):
+        assert (
+            choose_backend(
+                "incremental",
+                num_rows=1000,
+                num_cols=100,
+                num_candidates=1000,
+                binary_data=True,
+                cache_ready=False,
+            )
+            == "bitset"
+        )
+
+    def test_incremental_without_cache_or_table_degrades_to_sparse(self):
+        assert (
+            choose_backend(
+                "incremental",
+                num_rows=1000,
+                num_cols=100,
+                num_candidates=1000,
+                binary_data=True,
+                cache_ready=False,
+                max_table_bytes=8,
+            )
+            == "sparse"
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            choose_backend(
+                "gpu",
+                num_rows=1,
+                num_cols=1,
+                num_candidates=1,
+                binary_data=True,
+                cache_ready=False,
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        requested=st.sampled_from(ALL_BACKENDS),
+        num_rows=st.integers(1, 1_000_000),
+        num_cols=st.integers(0, 10_000),
+        num_candidates=st.integers(0, 1_000_000),
+        binary_data=st.booleans(),
+        cache_ready=st.booleans(),
+        cap=st.integers(0, 1 << 30),
+    )
+    def test_choice_preconditions_always_hold(
+        self, requested, num_rows, num_cols, num_candidates, binary_data,
+        cache_ready, cap,
+    ):
+        chosen = choose_backend(
+            requested,
+            num_rows=num_rows,
+            num_cols=num_cols,
+            num_candidates=num_candidates,
+            binary_data=binary_data,
+            cache_ready=cache_ready,
+            max_table_bytes=cap,
+        )
+        assert chosen in ("sparse", "bitset", "incremental")
+        if chosen == "bitset":
+            assert binary_data
+            assert estimate_table_bytes(num_rows, num_cols) <= cap
+        if chosen == "incremental":
+            assert binary_data
+            assert cache_ready
+
+
+# ---------------------------------------------------------------------------
+# KernelState / IndicatorCache unit behaviour
+
+
+class TestKernelState:
+    def onehot(self, seed=11, n=200):
+        x0, errors = backend_problem(seed, n=n, m=4)
+        space = FeatureSpace.from_matrix(x0)
+        return space.encode(x0), errors
+
+    def test_incremental_words_match_bitset_words(self):
+        """Parent-AND indicators == column-AND indicators, hit or miss."""
+        x, _ = self.onehot()
+        table = BitsetTable.from_matrix(x)
+        # A fake "previous level": every one-hot column is a parent.
+        num_parents = x.shape[1]
+        parent_cols = np.arange(num_parents)
+        parent_words = table.words[parent_cols]
+        # Candidates pair up parents; key = their two columns sorted.
+        pairs = np.array(
+            [
+                (i, j)
+                for i in range(num_parents)
+                for j in range(i + 1, num_parents)
+            ]
+        )
+        keys = np.sort(parent_cols[pairs], axis=1)
+        cached = num_parents * 2 // 3
+
+        state = KernelState("incremental")
+        state.cache.parent_words = parent_words[:cached]  # a prefix only
+        state.cache.parent_rows = x.shape[0]
+        state.backend = "incremental"
+        state._x_eval = x
+        state.prepare_chunks(pairs)
+        words, hits, misses = state.chunk_words(keys, pairs)
+        assert hits == int((pairs < cached).all(axis=1).sum())
+        assert misses == len(pairs) - hits
+        assert misses > 0 and hits > 0
+        assert np.array_equal(words, table.candidate_words(keys))
+
+    def test_cache_cap_keeps_aligned_prefix(self):
+        cache = IndicatorCache(max_bytes=100)
+        cache.begin_level(64)
+        first = np.full((5, 1), 3, dtype=np.uint64)  # 40 bytes
+        second = np.full((5, 1), 7, dtype=np.uint64)  # would exceed 100 - no
+        cache.store(first)
+        cache.store(second)  # 80 bytes total, fits
+        cache.store(np.full((5, 1), 9, dtype=np.uint64))  # 120 > cap: dropped
+        cache.store(first)  # after truncation nothing else is accepted
+        cache.end_level()
+        assert cache.stored_parents == 10
+        assert np.array_equal(
+            cache.parent_words, np.vstack([first, second])
+        )
+
+    def test_end_level_always_replaces_stale_table(self):
+        cache = IndicatorCache()
+        cache.begin_level(8)
+        cache.store(np.ones((2, 1), dtype=np.uint64))
+        cache.end_level()
+        assert cache.ready
+        # A level that stores nothing must clear the (now misaligned) table.
+        cache.begin_level(8)
+        cache.end_level()
+        assert not cache.ready
+
+    def test_select_rows_follows_compaction(self):
+        gen = np.random.default_rng(1)
+        bits = gen.random((7, 100)) < 0.5
+        cache = IndicatorCache()
+        cache.parent_words = pack_bool_rows(bits)
+        cache.parent_rows = 100
+        alive = np.flatnonzero(gen.random(100) < 0.6)
+        cache.select_rows(alive, chunk=3)
+        assert cache.parent_rows == alive.size
+        assert np.array_equal(
+            unpack_bool_rows(cache.parent_words, alive.size), bits[:, alive]
+        )
+
+
+# ---------------------------------------------------------------------------
+# the differential matrix: backends x threads x block size x compaction x warm
+
+
+@pytest.fixture(scope="module")
+def matrix_problem():
+    x0, errors = backend_problem()
+    cold = run_backend(x0, errors, "sparse")
+    assert len(cold.top_slices) >= 2
+    # Non-sparse levels must actually have run somewhere in this suite.
+    probe = run_backend(x0, errors, "incremental")
+    chosen = [lv.backend_chosen for lv in probe.counters.levels]
+    assert "bitset" in chosen and "incremental" in chosen
+    return x0, errors, cold
+
+
+@pytest.mark.parametrize("num_threads", [1, 4])
+@pytest.mark.parametrize("block_size", [1, 16, "n"])
+@pytest.mark.parametrize("compaction", [True, False])
+@pytest.mark.parametrize("warm", [False, True])
+class TestDifferentialMatrix:
+    def test_all_backends_bitwise_identical(
+        self, matrix_problem, num_threads, block_size, compaction, warm
+    ):
+        x0, errors, cold = matrix_problem
+        block = x0.shape[0] if block_size == "n" else block_size
+        seeds = cold.top_slices[:2] if warm else None
+        ref = run_backend(
+            x0, errors, "sparse",
+            num_threads=num_threads, seeds=seeds,
+            block_size=block, compaction=compaction,
+        )
+        for backend in ("bitset", "incremental", "auto"):
+            other = run_backend(
+                x0, errors, backend,
+                num_threads=num_threads, seeds=seeds,
+                block_size=block, compaction=compaction,
+            )
+            assert_same_result(
+                ref, other,
+                f"{backend} t={num_threads} b={block_size} "
+                f"compact={compaction} warm={warm}",
+            )
+
+
+class TestGauges:
+    def test_backend_gauges_populate(self, matrix_problem):
+        x0, errors, _ = matrix_problem
+        result = run_backend(x0, errors, "incremental")
+        by_level = {
+            lv.level: lv for lv in result.counters.levels if lv.evaluated
+        }
+        # Level 2 has no parent cache yet (level 1 runs the basic pass) so
+        # incremental degrades to bitset; level 3+ hits the cache.
+        assert by_level[2].backend_chosen == "bitset"
+        assert by_level[3].backend_chosen == "incremental"
+        assert by_level[3].cache_hits > 0
+        assert by_level[3].cache_misses == 0
+
+    def test_sparse_run_reports_sparse(self, matrix_problem):
+        x0, errors, _ = matrix_problem
+        result = run_backend(x0, errors, "sparse")
+        for lv in result.counters.levels:
+            if lv.evaluated and lv.level >= 2:
+                assert lv.backend_chosen == "sparse"
+                assert lv.cache_hits == 0 and lv.cache_misses == 0
+
+    def test_text_gauge_excluded_from_totals(self, matrix_problem):
+        x0, errors, _ = matrix_problem
+        result = run_backend(x0, errors, "bitset")
+        totals = result.counters.totals()
+        assert "backend_chosen" not in totals
+        assert "cache_hits" in totals
+
+
+# ---------------------------------------------------------------------------
+# hypothesis sweep, including missing codes (0 entries -> no one-hot column)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_problems_with_missing_codes(seed):
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(60, 260))
+    m = int(gen.integers(2, 5))
+    domains = gen.integers(2, 5, size=m)
+    # Code 0 == missing: roughly 10% of entries carry no predicate.
+    x0 = np.column_stack(
+        [gen.integers(0, d + 1, size=n) for d in domains]
+    ).astype(np.int64)
+    errors = gen.integers(0, 17, size=n) / 16.0
+    if errors.sum() == 0:
+        errors[0] = 1.0
+    k = int(gen.integers(1, 6))
+    sigma = int(gen.integers(1, 10))
+    cfg = dict(k=k, sigma=sigma, alpha=float(gen.uniform(0.3, 1.0)))
+    ref = slice_line(
+        x0, errors, SliceLineConfig(kernel_backend="sparse", **cfg)
+    )
+    for backend in ("bitset", "incremental", "auto"):
+        other = slice_line(
+            x0, errors, SliceLineConfig(kernel_backend=backend, **cfg)
+        )
+        assert_same_result(ref, other, f"{backend} seed={seed}")
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_continuous_float_errors_bitwise_identical(seed):
+    """Arbitrary float errors over large slices: summation ORDER matters.
+
+    Dyadic errors sum exactly under any association, so only continuous
+    floats catch a backend whose accumulation order differs from scipy's
+    strict sequential csc_matvec (pairwise np.sum / np.add.reduceat round
+    differently on slices longer than ~8 rows).
+    """
+    gen = np.random.default_rng(seed)
+    n = 700
+    x0 = np.column_stack(
+        [gen.integers(1, 4, size=n) for _ in range(5)]
+    ).astype(np.int64)
+    errors = gen.random(n)  # continuous: every slice sum rounds
+    ref = slice_line(
+        x0, errors, SliceLineConfig(k=6, sigma=5, kernel_backend="sparse")
+    )
+    for backend in ("bitset", "incremental", "auto"):
+        other = slice_line(
+            x0, errors, SliceLineConfig(k=6, sigma=5, kernel_backend=backend)
+        )
+        assert_same_result(ref, other, f"{backend} seed={seed}")
+
+
+# ---------------------------------------------------------------------------
+# evaluate_slice_set: mixed-level external slice sets
+
+
+class TestEvaluateSliceSetBackends:
+    def test_mixed_levels_identical_across_backends(self):
+        x0, errors = backend_problem(23, n=300, m=5)
+        space = FeatureSpace.from_matrix(x0)
+        gen = np.random.default_rng(24)
+        slices = [Slice(predicates={}, score=0, error=0, max_error=0, size=0)]
+        for _ in range(40):
+            feats = gen.choice(5, size=int(gen.integers(1, 4)), replace=False)
+            slices.append(
+                Slice(
+                    predicates={
+                        int(f): int(gen.integers(1, x0[:, f].max() + 1))
+                        for f in feats
+                    },
+                    score=0, error=0, max_error=0, size=0,
+                )
+            )
+        matrix = encode_slices(slices, space)
+        x = space.encode(x0)
+        ref = evaluate_slice_set(x, matrix, errors, backend="sparse")
+        # The all-zero row denotes the whole dataset.
+        assert ref.sizes[0] == float(x0.shape[0])
+        for backend in ("bitset", "incremental", "auto"):
+            for threads in (1, 4):
+                out = evaluate_slice_set(
+                    x, matrix, errors, backend=backend, num_threads=threads
+                )
+                assert np.array_equal(ref.sizes, out.sizes), backend
+                assert np.array_equal(ref.errors, out.errors), backend
+                assert np.array_equal(ref.max_errors, out.max_errors), backend
+
+
+# ---------------------------------------------------------------------------
+# cache eviction, checkpoints and budgets compose with every backend
+
+
+class TestComposition:
+    def eviction_problem(self):
+        gen = np.random.default_rng(3)
+        n, m = 600, 7
+        x0 = np.column_stack(
+            [gen.integers(1, 4, size=n) for _ in range(m)]
+        ).astype(np.int64)
+        errors = gen.integers(0, 17, size=n) / 16.0
+        errors[(x0[:, 0] == 1) & (x0[:, 1] == 2)] = 1.0
+        return x0, errors
+
+    def test_cache_eviction_serves_misses_exactly(self, monkeypatch):
+        """A byte-capped cache mixes hits and misses; results are identical."""
+        x0, errors = self.eviction_problem()
+        overrides = dict(priority_chunk=32)
+        ref = run_backend(x0, errors, "sparse", **overrides)
+        # Cap sized between one 32-candidate store chunk and a full level,
+        # so the cache keeps a usable prefix and the rest must miss.
+        monkeypatch.setattr(kernels_mod, "MAX_CACHE_BYTES", 6000)
+        capped = run_backend(x0, errors, "incremental", **overrides)
+        assert_same_result(ref, capped, "capped incremental")
+        hits = sum(lv.cache_hits for lv in capped.counters.levels)
+        misses = sum(lv.cache_misses for lv in capped.counters.levels)
+        assert hits > 0 and misses > 0
+
+    @pytest.mark.parametrize("backend", ["bitset", "incremental", "auto"])
+    def test_resume_from_checkpoint(self, tmp_path, backend):
+        """A resumed run (empty cache) still matches the sparse reference."""
+        x0, errors = backend_problem(9)
+        cfg = SliceLineConfig(k=5, sigma=5, kernel_backend=backend)
+        full = slice_line(x0, errors, cfg, checkpoint_dir=str(tmp_path))
+        ref = slice_line(
+            x0, errors, cfg.with_overrides(kernel_backend="sparse")
+        )
+        assert_same_result(ref, full, f"{backend} full")
+        bundles = sorted(p.name for p in tmp_path.iterdir())
+        assert bundles
+        for bundle in bundles:
+            resumed = slice_line(
+                x0, errors, cfg, resume_from=str(tmp_path / bundle)
+            )
+            assert resumed.completed
+            assert_same_result(ref, resumed, f"{backend} from {bundle}")
+
+    @pytest.mark.parametrize("backend", ["bitset", "incremental", "auto"])
+    def test_candidate_budget_identical_across_backends(self, backend):
+        x0, errors = backend_problem(13)
+        budgets = BudgetConfig(max_candidates_per_level=100)
+        ref = run_backend(x0, errors, "sparse")
+        ref_b = slice_line(
+            x0, errors,
+            SliceLineConfig(k=6, sigma=5, kernel_backend="sparse"),
+            budgets=budgets,
+        )
+        out = slice_line(
+            x0, errors,
+            SliceLineConfig(k=6, sigma=5, kernel_backend=backend),
+            budgets=budgets,
+        )
+        assert_same_result(ref_b, out, f"{backend} budgeted")
+        # The budget genuinely bites (otherwise this test proves nothing).
+        assert ref_b.budget_trip is not None or np.array_equal(
+            ref.top_stats, ref_b.top_stats
+        )

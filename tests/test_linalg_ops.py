@@ -181,3 +181,117 @@ class TestUpperTriPairs:
                 if dense[a] @ dense[b] == overlap
             }
             assert got == expected
+
+    def test_zero_overlap_fully_disjoint_rows(self):
+        # Disjoint support: the Gram matrix has NO stored off-diagonal
+        # entries, so only the dense comparison sees the matches.
+        dense = np.zeros((6, 12))
+        for row in range(6):
+            dense[row, 2 * row : 2 * row + 2] = 1.0
+        i, j = upper_tri_pairs(sp.csr_matrix(dense), 0.0)
+        expected = {(a, b) for a in range(6) for b in range(a + 1, 6)}
+        assert set(zip(i.tolist(), j.tolist())) == expected
+
+    @pytest.mark.parametrize("overlap", [0.0, 1.0, 2.0])
+    def test_chunk_boundary_crossing(self, monkeypatch, overlap):
+        # Force many tiny row chunks so matches span chunk boundaries.
+        import repro.linalg.ops as ops_mod
+
+        gen = np.random.default_rng(29)
+        dense = (gen.random((23, 9)) < 0.35).astype(float)
+        s = sp.csr_matrix(dense)
+        baseline = upper_tri_pairs(s, overlap)
+        monkeypatch.setattr(ops_mod, "_PAIR_CHUNK_CELLS", 3 * 23)
+        chunked = upper_tri_pairs(s, overlap)
+        np.testing.assert_array_equal(baseline[0], chunked[0])
+        np.testing.assert_array_equal(baseline[1], chunked[1])
+        expected = {
+            (a, b)
+            for a in range(23)
+            for b in range(a + 1, 23)
+            if dense[a] @ dense[b] == overlap
+        }
+        assert set(zip(chunked[0].tolist(), chunked[1].tolist())) == expected
+
+
+class TestPackRowsMixedRadix:
+    def test_orders_like_lexicographic(self):
+        from repro.linalg import pack_rows_mixed_radix
+
+        gen = np.random.default_rng(5)
+        rows = gen.integers(0, 7, size=(50, 4))
+        packed = pack_rows_mixed_radix(rows, 7)
+        order = np.argsort(packed, kind="stable")
+        lex = np.lexsort(rows.T[::-1])
+        np.testing.assert_array_equal(order, lex)
+
+    def test_width_zero_packs_to_zeros(self):
+        from repro.linalg import pack_rows_mixed_radix
+
+        packed = pack_rows_mixed_radix(np.zeros((4, 0), dtype=np.int64), 9)
+        np.testing.assert_array_equal(packed, np.zeros(4, dtype=np.int64))
+
+    def test_base_one_is_exact(self):
+        from repro.linalg import pack_rows_mixed_radix
+
+        # base 1 admits only digit 0; 1**width == 1 never overflows,
+        # regardless of width.
+        packed = pack_rows_mixed_radix(np.zeros((3, 100), dtype=np.int64), 1)
+        np.testing.assert_array_equal(packed, np.zeros(3, dtype=np.int64))
+
+    def test_base_zero_rejected(self):
+        from repro.linalg import pack_rows_mixed_radix
+
+        with pytest.raises(ValidationError):
+            pack_rows_mixed_radix(np.zeros((1, 2), dtype=np.int64), 0)
+
+    def test_overflow_boundary_at_int64_max(self):
+        from repro.linalg import pack_rows_mixed_radix
+
+        # 2**62 fits int64; 2**63 exceeds int64 max -> caller fallback.
+        fits = pack_rows_mixed_radix(np.ones((2, 62), dtype=np.int64), 2)
+        assert fits is not None
+        assert fits[0] == 2**62 - 1
+        assert pack_rows_mixed_radix(np.ones((2, 63), dtype=np.int64), 2) is None
+        # The check is an exact Python-int comparison, immune to the
+        # float rounding that makes (2.0**63 - 1) == 2.0**63.
+        assert (
+            pack_rows_mixed_radix(np.ones((1, 1), dtype=np.int64), 2**62)
+            is not None
+        )
+        assert (
+            pack_rows_mixed_radix(np.ones((1, 2), dtype=np.int64), 2**62)
+            is None
+        )
+
+    def test_large_ids_round_trip_uniquely(self):
+        from repro.linalg import pack_rows_mixed_radix
+
+        # Near the top of the int64 range distinct rows keep distinct IDs.
+        gen = np.random.default_rng(6)
+        rows = gen.integers(0, 2, size=(200, 62))
+        packed = pack_rows_mixed_radix(rows, 2)
+        unique_rows = np.unique(rows, axis=0).shape[0]
+        assert np.unique(packed).size == unique_rows
+
+
+class TestCumprodBoundaries:
+    def test_object_fallback_triggers_at_62_bits(self):
+        # sum(log2) == 62 exactly: must take the exact object path.
+        result = cumprod(np.full(62, 2, dtype=np.int64))
+        assert result.dtype == object
+        assert result[-1] == 2**62
+
+    def test_int64_path_below_threshold(self):
+        result = cumprod(np.full(61, 2, dtype=np.int64))
+        assert result.dtype == np.int64
+        assert result[-1] == 2**61
+
+    def test_object_fallback_is_exact_past_int64(self):
+        result = cumprod(np.full(70, 2, dtype=np.int64))
+        assert result[-1] == 2**70  # would wrap negative under int64
+
+    def test_float_input_unaffected(self):
+        np.testing.assert_allclose(
+            cumprod(np.array([0.5, 2.0, 4.0])), [0.5, 1.0, 4.0]
+        )
