@@ -28,6 +28,7 @@ from repro.resilience import (
     FaultPlan,
     RetryPolicy,
 )
+from repro.serve import JobSpec, SliceService, TenantQuota
 from repro.streaming import (
     MergeableSliceStats,
     MonitorTick,
@@ -50,6 +51,9 @@ __all__ = [
     "ChaosInjector",
     "FaultPlan",
     "RetryPolicy",
+    "JobSpec",
+    "SliceService",
+    "TenantQuota",
     "MergeableSliceStats",
     "MonitorTick",
     "PredictionBatch",

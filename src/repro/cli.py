@@ -5,6 +5,7 @@ Usage::
     python -m repro data.csv --error-column err --k 5 --alpha 0.95
     python -m repro data.csv --error-column err --drop id --numeric age,hours
     python -m repro monitor data.csv --error-column err --batch-size 256
+    python -m repro serve jobs.json --workers 4 --status-json status.json
 
 Reads a headered CSV (no pandas required), applies the paper's
 preprocessing (categorical recoding, 10-bin equi-width binning of numeric
@@ -26,6 +27,7 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import os
 import sys
 
 import numpy as np
@@ -418,10 +420,134 @@ def _split(arg: str) -> list[str]:
     return [part for part in arg.split(",") if part]
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run declarative slice-finding job files (JSON/TOML, "
+        "skll-style defaults + jobs) through the multi-tenant job service: "
+        "admission control, fingerprint-keyed result caching, and "
+        "suspend/resume scheduling.",
+    )
+    parser.add_argument(
+        "jobs", nargs="+", metavar="PATH",
+        help="job file(s) (.json/.toml) and/or directories of job files",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker-thread pool width (default 2)",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=64,
+        help="result-cache capacity in entries (default 64)",
+    )
+    parser.add_argument(
+        "--workdir", metavar="DIR", default=None,
+        help="directory for per-job checkpoint trees (default: a fresh "
+        "temporary directory)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="overall deadline for the batch (default: wait forever)",
+    )
+    parser.add_argument(
+        "--no-preemption", action="store_true",
+        help="never suspend running batch jobs for interactive ones",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record a per-job span tree (serve.* plus the inner run)",
+    )
+    parser.add_argument(
+        "--status-json", metavar="PATH", default=None,
+        help="write the final repro.serve/v1 status document to PATH",
+    )
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    # Local import: the serving layer pulls in threading machinery the
+    # plain one-shot CLI paths never need.
+    from repro.serve import SliceService, load_job_dir, load_job_file
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        specs = []
+        for path in args.jobs:
+            if os.path.isdir(path):
+                specs.extend(load_job_dir(path))
+            else:
+                specs.extend(load_job_file(path))
+        service = SliceService(
+            num_workers=args.workers,
+            cache_entries=args.cache_entries,
+            workdir=args.workdir,
+            trace=args.trace,
+            preemption=not args.no_preemption,
+        )
+        records = [service.submit(spec) for spec in specs]
+        finished = service.wait(timeout=args.timeout)
+        service.shutdown()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not finished:
+        print(
+            f"error: jobs still unfinished after {args.timeout}s",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = 0
+    for record in records:
+        label = record.spec.name or record.job_id
+        notes = []
+        if record.cache_hit:
+            notes.append("cache hit")
+        if record.warm_seeds:
+            notes.append(f"warm-started ({len(record.warm_seeds)} seeds)")
+        if record.preemptions:
+            notes.append(
+                f"preempted x{record.preemptions}, "
+                f"resumed x{record.resumes}"
+            )
+        note = f" [{', '.join(notes)}]" if notes else ""
+        if record.state == "completed" and record.result is not None:
+            top = record.result.top_slices
+            best = f"best score {top[0].score:+.4f}" if top else "no slices"
+            print(
+                f"{label}: completed, {len(top)} slice(s), {best}{note}"
+            )
+        else:
+            failures += 1
+            why = record.reason or record.error or record.state
+            print(f"{label}: {record.state} ({why}){note}")
+    stats = service.stats()
+    cache = stats["cache"]
+    hits = stats["events"].get("serve.cache_hits", 0)
+    print(
+        f"{len(records)} job(s); cache {hits} hit(s) / "
+        f"{cache['misses']} miss(es), {cache['entries']} entr(ies)"
+    )
+    if args.status_json is not None:
+        try:
+            with open(args.status_json, "w") as handle:
+                json.dump(
+                    service.status_document(), handle, indent=2,
+                    sort_keys=True,
+                )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"status JSON written to {args.status_json}")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "monitor":
         return monitor_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         table = read_csv_table(args.csv)
@@ -469,7 +595,7 @@ def main(argv: list[str] | None = None) -> int:
         f"l={result.num_onehot_columns} one-hot columns, "
         f"avg error={result.average_error:.4f}"
     )
-    if not result.completed:
+    if not result.completed and result.budget_trip is not None:
         trip = result.budget_trip
         print(
             f"partial result: {trip.budget} budget tripped at level "

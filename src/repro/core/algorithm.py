@@ -46,6 +46,7 @@ from repro.obs import NULL_TRACER, CounterRegistry, Tracer, resolve_tracer
 from repro.resilience.budgets import (
     BudgetConfig,
     BudgetTracker,
+    SuspendHook,
     estimate_level_memory,
 )
 from repro.resilience.checkpoint import (
@@ -69,6 +70,7 @@ def slice_line(
     budgets: BudgetConfig | None = None,
     checkpoint_dir: str | None = None,
     resume_from: str | None = None,
+    suspend: "SuspendHook | None" = None,
 ) -> SliceLineResult:
     """Find the top-K problematic slices of an integer-encoded dataset.
 
@@ -131,6 +133,15 @@ def slice_line(
         pruning counters to an uninterrupted run.  ``seed_slices`` are
         ignored on resume (their effect is already baked into the restored
         top-K).
+    suspend:
+        Optional cooperative :class:`~repro.resilience.SuspendHook`.  When
+        another thread calls its ``request()``, the enumeration stops at
+        the next level boundary and returns ``result.suspended = True``
+        with the best-so-far top-K.  Combined with ``checkpoint_dir`` (the
+        boundary checkpoint is written before the hook is checked), the
+        suspended run can later be resumed via ``resume_from`` and
+        completes bitwise-identically — this is how the serving scheduler
+        preempts long batch jobs in favour of interactive ones.
 
     Returns
     -------
@@ -278,7 +289,14 @@ def slice_line(
             )
 
         # -- level-wise lattice enumeration ----------------------------------
+        suspended = False
         while slices.shape[0] > 0 and level < max_level:
+            # Cooperative preemption lands exactly on a level boundary —
+            # the state the checkpoint written at the end of the previous
+            # iteration persists — so resume is bitwise-identical.
+            if suspend is not None and suspend.requested:
+                suspended = True
+                break
             if (
                 tracker is not None
                 and tracker.check_deadline(level + 1) is not None
@@ -392,8 +410,9 @@ def slice_line(
                     compact, warm_info, seed_keys, tracer,
                 )
 
-    completed = tracker is None or tracker.trip is None
-    if not completed:
+    tripped_budget = tracker is not None and tracker.trip is not None
+    completed = not tripped_budget and not suspended
+    if tripped_budget:
         counters.event("budget.trip")
         with tracer.span(
             "budget.trip",
@@ -402,6 +421,10 @@ def slice_line(
             value=round(tracker.trip.value, 6),
             limit=tracker.trip.limit,
         ):
+            pass
+    if suspended:
+        counters.event("suspend.yield")
+        with tracer.span("suspend.yield", level=level):
             pass
 
     if warm_info is not None and seed_keys:
@@ -437,6 +460,7 @@ def slice_line(
         warm_start=warm_info,
         completed=completed,
         budget_trip=tracker.trip if tracker is not None else None,
+        suspended=suspended,
     )
 
 

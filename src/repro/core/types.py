@@ -179,6 +179,10 @@ class SliceLineResult:
     completed: bool = True
     #: the budget that stopped the run (``None`` when ``completed``)
     budget_trip: "BudgetTrip | None" = None
+    #: True when a cooperative :class:`~repro.resilience.budgets.SuspendHook`
+    #: stopped the run at a level boundary — the level-boundary checkpoint
+    #: was written, so resuming it completes bitwise-identically
+    suspended: bool = False
 
     def __len__(self) -> int:
         return len(self.top_slices)

@@ -54,3 +54,12 @@ class CheckpointError(ReproError, RuntimeError):
     unknown version, or does not match the data/config of the run asked to
     resume from it.
     """
+
+
+class ServeError(ReproError, RuntimeError):
+    """A job-service operation failed (unknown job, failed job, timeout).
+
+    Raised by :class:`~repro.serve.SliceService` when a caller asks for a
+    job the service does not know, waits past a timeout, or requests the
+    result of a job that failed, was cancelled, or was rejected.
+    """

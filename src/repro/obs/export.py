@@ -58,6 +58,7 @@ def run_to_dict(result: Any) -> dict:
             "top_scores": [s.score for s in result.top_slices],
             "completed": getattr(result, "completed", True),
             "budget_trip": trip.to_dict() if trip is not None else None,
+            "suspended": getattr(result, "suspended", False),
         },
         "warm_start": (
             {

@@ -19,6 +19,7 @@ from repro.resilience.budgets import (
     BudgetConfig,
     BudgetTracker,
     BudgetTrip,
+    SuspendHook,
     estimate_level_memory,
 )
 from repro.resilience.chaos import (
@@ -30,6 +31,10 @@ from repro.resilience.chaos import (
 from repro.resilience.checkpoint import (
     CKPT_SCHEMA,
     CheckpointState,
+    fingerprint_config,
+    fingerprint_digest,
+    fingerprint_inputs,
+    job_fingerprint,
     latest_checkpoint,
     load_checkpoint,
     save_checkpoint,
@@ -51,6 +56,7 @@ __all__ = [
     "BudgetConfig",
     "BudgetTracker",
     "BudgetTrip",
+    "SuspendHook",
     "estimate_level_memory",
     "ChaosInjector",
     "FaultPlan",
@@ -58,6 +64,10 @@ __all__ = [
     "make_corrupt_batch",
     "CKPT_SCHEMA",
     "CheckpointState",
+    "fingerprint_config",
+    "fingerprint_digest",
+    "fingerprint_inputs",
+    "job_fingerprint",
     "latest_checkpoint",
     "load_checkpoint",
     "save_checkpoint",

@@ -22,6 +22,7 @@ can import it without cycles.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -77,6 +78,39 @@ class BudgetConfig:
             self.deadline_s is not None
             or self.max_candidates_per_level is not None
             or self.max_memory_bytes is not None
+        )
+
+    def merged(self, other: "BudgetConfig | None") -> "BudgetConfig":
+        """Compose two budget sets, tightest-wins on every field.
+
+        A limit set on either side survives; when both sides set the same
+        limit the smaller one wins.  This is how a tenant quota composes
+        with a user-supplied per-job budget: neither can *loosen* the
+        other, so over-quota jobs cannot buy themselves more resources by
+        passing their own ``BudgetConfig``.
+        """
+        if other is None:
+            return self
+        if not isinstance(other, BudgetConfig):
+            raise ConfigError(
+                f"merged() expects a BudgetConfig or None, got {other!r}"
+            )
+
+        def tightest(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return BudgetConfig(
+            deadline_s=tightest(self.deadline_s, other.deadline_s),
+            max_candidates_per_level=tightest(
+                self.max_candidates_per_level, other.max_candidates_per_level
+            ),
+            max_memory_bytes=tightest(
+                self.max_memory_bytes, other.max_memory_bytes
+            ),
         )
 
 
@@ -177,6 +211,33 @@ class BudgetTracker:
         )
 
 
+class SuspendHook:
+    """Cooperative suspension flag checked at every level boundary.
+
+    A scheduler (or any controller thread) calls :meth:`request`; the
+    enumeration observes it at the top of its level loop, writes its
+    level-boundary checkpoint as usual, and returns a ``suspended=True``
+    partial result.  Because suspension only ever lands on a level
+    boundary — the exact state ``repro.ckpt/v1`` persists — resuming the
+    checkpoint later is bitwise-identical to never having stopped.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def request(self) -> None:
+        """Ask the running enumeration to stop at the next level boundary."""
+        self._event.set()
+
+    def clear(self) -> None:
+        """Re-arm the hook (called before resuming a suspended run)."""
+        self._event.clear()
+
+    @property
+    def requested(self) -> bool:
+        return self._event.is_set()
+
+
 def estimate_level_memory(
     num_candidates: int,
     level: int,
@@ -210,5 +271,6 @@ __all__ = [
     "BudgetConfig",
     "BudgetTracker",
     "BudgetTrip",
+    "SuspendHook",
     "estimate_level_memory",
 ]

@@ -67,6 +67,53 @@ def fingerprint_inputs(x0: np.ndarray, errors: np.ndarray) -> dict:
     }
 
 
+def fingerprint_digest(*fingerprints: dict) -> str:
+    """Stable hex digest of one or more fingerprint dicts.
+
+    The digest is computed over the canonical (sorted-key, separator-free)
+    JSON of each dict in order, so it is reproducible across processes and
+    platforms.  ``fingerprint_digest(data_fp)`` identifies a dataset;
+    ``fingerprint_digest(data_fp, config_fp)`` identifies a job.
+    """
+    digest = hashlib.sha256()
+    for fingerprint in fingerprints:
+        digest.update(
+            json.dumps(
+                fingerprint, sort_keys=True, separators=(",", ":")
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def job_fingerprint(x0: np.ndarray, errors: np.ndarray, config) -> str:
+    """Deterministic identity of one slice-finding job (stable hex digest).
+
+    Two calls with bitwise-equal ``(x0, errors)`` and an equal
+    result-affecting configuration produce the same digest — the property
+    the serving layer's result cache and job ids rely on, and exactly the
+    equality :func:`verify_checkpoint` enforces for resume.
+    """
+    return fingerprint_digest(
+        fingerprint_inputs(x0, errors), fingerprint_config(config)
+    )
+
+
+def fingerprint_mismatch(kind: str, expected: dict, got: dict) -> str:
+    """The single fingerprint-mismatch error text.
+
+    *kind* names what disagreed (``"input data"`` or ``"configuration"``);
+    the stored
+    state (checkpoint bundle, cached result) is only valid for the exact
+    identity it was produced from, so mismatches must fail loudly instead
+    of producing silently wrong slices.
+    """
+    return (
+        f"{kind} fingerprint mismatch: the stored state is only valid for "
+        f"the exact {kind} it was produced from; expected {expected}, "
+        f"got {got}"
+    )
+
+
 def fingerprint_config(config) -> dict:
     """JSON fingerprint of every result-affecting config field."""
     pruning = config.pruning
@@ -299,15 +346,14 @@ def verify_checkpoint(
     data = fingerprint_inputs(x0, errors)
     if data != state.data_fingerprint:
         raise CheckpointError(
-            "checkpoint does not match the input data (x0/errors "
-            "fingerprints differ); resume requires the exact rows the "
-            "interrupted run was enumerating"
+            fingerprint_mismatch("input data", state.data_fingerprint, data)
         )
     cfg = fingerprint_config(config)
     if cfg != state.config_fingerprint:
         raise CheckpointError(
-            "checkpoint was written under a different configuration; "
-            f"expected {state.config_fingerprint}, got {cfg}"
+            fingerprint_mismatch(
+                "configuration", state.config_fingerprint, cfg
+            )
         )
 
 
@@ -315,7 +361,10 @@ __all__ = [
     "CKPT_SCHEMA",
     "CheckpointState",
     "fingerprint_config",
+    "fingerprint_digest",
     "fingerprint_inputs",
+    "fingerprint_mismatch",
+    "job_fingerprint",
     "latest_checkpoint",
     "load_checkpoint",
     "save_checkpoint",

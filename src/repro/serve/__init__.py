@@ -1,0 +1,49 @@
+"""Multi-tenant slice-finding job service.
+
+The serving layer turns the one-shot :func:`repro.core.slice_line` call
+(and the streaming :class:`~repro.streaming.SliceMonitor`) into a
+concurrent, multi-tenant control plane:
+
+- :class:`JobSpec`/:class:`JobRecord` — declarative job description and
+  its lifecycle record, identified by a deterministic fingerprint over
+  the data and result-affecting config;
+- :class:`TenantQuota`/:class:`JobQueue` — admission control (typed
+  reject/queue decisions) and fair-share ordering across tenants;
+- :class:`ResultCache` — fingerprint-keyed cache: exact hits skip
+  enumeration entirely, same-data misses warm-start from the cached
+  top-K (identical results, less work);
+- :class:`Scheduler` — worker pool with checkpoint-backed preemption:
+  interactive jobs can suspend a running batch job at a level boundary,
+  which later resumes bitwise-identically;
+- :class:`SliceService` — the submit/status/result/cancel façade, also
+  behind ``python -m repro serve`` with skll-style declarative job files.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.declarative import (
+    load_job_dir,
+    load_job_document,
+    load_job_file,
+    spec_from_dict,
+)
+from repro.serve.queue import AdmissionDecision, JobQueue, TenantQuota
+from repro.serve.scheduler import Scheduler
+from repro.serve.service import SERVE_SCHEMA, SliceService
+from repro.serve.spec import JobRecord, JobSpec, JobState
+
+__all__ = [
+    "AdmissionDecision",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "ResultCache",
+    "SERVE_SCHEMA",
+    "Scheduler",
+    "SliceService",
+    "TenantQuota",
+    "load_job_dir",
+    "load_job_document",
+    "load_job_file",
+    "spec_from_dict",
+]

@@ -1,0 +1,99 @@
+"""Fingerprint-keyed result cache with same-data warm-start lookup.
+
+An exact hit — same data fingerprint *and* same result-affecting config —
+returns the cached :class:`~repro.core.types.SliceLineResult` outright:
+the enumeration is deterministic, so re-running it could only reproduce
+the same answer.  A miss whose *data* digest matches an earlier entry is
+still worth something: the cached top-K becomes ``seed_slices`` for the
+new run, which raises the score-pruning threshold early and (by the
+exactness of Equation-3 pruning) returns the identical top-K with less
+enumeration work.
+
+Only completed, unsuspended results are cached; a partial (budget-tripped)
+top-K is correct but not the full lattice's answer, so serving it for a
+different submission would be wrong.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.types import Slice, SliceLineResult
+from repro.exceptions import ConfigError
+
+
+@dataclass
+class CacheEntry:
+    fingerprint: str
+    data_digest: str
+    result: SliceLineResult
+
+
+class ResultCache:
+    """Bounded LRU cache of completed runs, keyed by job fingerprint."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, fingerprint: str) -> SliceLineResult | None:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return entry.result
+
+    def put(
+        self, fingerprint: str, data_digest: str, result: SliceLineResult
+    ) -> bool:
+        """Cache *result*; refuses partial (incomplete/suspended) runs."""
+        if not result.completed or result.suspended:
+            return False
+        with self._lock:
+            self._entries[fingerprint] = CacheEntry(
+                fingerprint=fingerprint,
+                data_digest=data_digest,
+                result=result,
+            )
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return True
+
+    def warm_seeds(self, data_digest: str) -> list[Slice]:
+        """Top-K of the most recently used entry over the same data.
+
+        Empty when no same-data entry exists.  Does not count as a hit or
+        miss — the caller is about to run the enumeration either way.
+        """
+        with self._lock:
+            for entry in reversed(self._entries.values()):
+                if entry.data_digest == data_digest:
+                    return list(entry.result.top_slices)
+            return []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+__all__ = ["CacheEntry", "ResultCache"]

@@ -1,0 +1,576 @@
+"""The multi-tenant slice-finding service façade.
+
+:class:`SliceService` composes the serving subsystem: admission control
+and fair-share ordering (:mod:`repro.serve.queue`), a worker pool with
+checkpoint-backed preemption (:mod:`repro.serve.scheduler`), a
+fingerprint-keyed result cache (:mod:`repro.serve.cache`), and the
+existing resilience/streaming/obs layers behind a submit/status/result/
+cancel API.
+
+Correctness invariants the tests enforce:
+
+- an exact-fingerprint resubmission is served from cache with **zero**
+  enumeration (no ``level{L}.evaluate`` spans on its per-job trace);
+- a same-data/different-config miss is warm-started from the cached
+  top-K and still returns a top-K bitwise-identical to a cold run
+  (Equation-3 pruning is exact);
+- a suspended-then-resumed job completes bitwise-identically to an
+  uninterrupted run (suspension lands on a level boundary, exactly the
+  state ``repro.ckpt/v1`` persists).
+
+Thread model: all job-state transitions happen under the service lock;
+the enumeration itself runs outside it.  Each job gets its own tracer
+(when tracing is on) touched by exactly one thread at a time — the
+submitting thread closes its spans before the job is enqueued, and a
+worker owns the tracer for the duration of an execution attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+import threading
+import time
+
+from repro.core.algorithm import slice_line
+from repro.exceptions import ServeError
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.resilience.checkpoint import (
+    fingerprint_config,
+    fingerprint_digest,
+    fingerprint_inputs,
+    latest_checkpoint,
+)
+from repro.serve.cache import ResultCache
+from repro.serve.queue import JobQueue, TenantQuota
+from repro.serve.scheduler import Scheduler
+from repro.serve.spec import JobRecord, JobSpec, JobState
+
+#: Version tag of the service status document.
+SERVE_SCHEMA = "repro.serve/v1"
+
+_JOB_ID_SANITIZE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class SliceService:
+    """Submit/status/result/cancel façade over the serving subsystem.
+
+    Parameters
+    ----------
+    quotas:
+        Per-tenant :class:`TenantQuota` table; tenants not listed fall
+        back to *default_quota*.
+    default_quota:
+        Quota for unlisted tenants (default: 2 running / 64 queued).
+    num_workers:
+        Worker-thread pool width.
+    cache_entries:
+        Capacity of the fingerprint-keyed result cache.
+    workdir:
+        Directory for per-job checkpoint trees (a temporary directory is
+        created when omitted); suspended jobs resume from here.
+    trace:
+        When true, every job gets its own :class:`~repro.obs.Tracer`
+        recording ``serve.*`` spans around the inner run's span tree.
+    preemption:
+        Allow interactive submissions to suspend running batch jobs.
+    start:
+        Start the worker pool immediately (pass ``False`` to stage
+        submissions first — used by tests to make races deterministic).
+    """
+
+    def __init__(
+        self,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        num_workers: int = 2,
+        cache_entries: int = 64,
+        workdir: str | None = None,
+        trace: bool = False,
+        preemption: bool = True,
+        start: bool = True,
+    ) -> None:
+        self._lock = threading.RLock()
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota or TenantQuota()
+        self.trace = trace
+        self.registry = CounterRegistry()
+        self.queue = JobQueue(self.quota_for)
+        self.cache = ResultCache(cache_entries)
+        self.scheduler = Scheduler(
+            self.queue, self._execute, num_workers, preemption
+        )
+        if workdir is None:
+            workdir = tempfile.mkdtemp(prefix="repro-serve-")
+        self.workdir = workdir
+        os.makedirs(self.workdir, exist_ok=True)
+        self.jobs: dict[str, JobRecord] = {}
+        self._order: list[str] = []
+        #: fingerprint -> origin record currently pending/running/suspended
+        self._inflight: dict[str, JobRecord] = {}
+        #: fingerprint -> duplicate submissions waiting on the origin
+        self._waiters: dict[str, list[JobRecord]] = {}
+        #: fingerprint -> submission count (disambiguates job ids)
+        self._submissions: dict[str, int] = {}
+        if start:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self.scheduler.start()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.scheduler.shutdown(wait=wait)
+
+    def __enter__(self) -> "SliceService":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Admit one job; returns its record immediately (never blocks).
+
+        The record's terminal state may already be set on return: an
+        exact-fingerprint cache hit completes synchronously, and an
+        over-backlog submission is rejected with a typed reason.
+        """
+        x0, errors = spec.resolve_data()
+        data_fp = fingerprint_inputs(x0, errors)
+        config_fp = fingerprint_config(spec.config)
+        data_digest = fingerprint_digest(data_fp)
+        if spec.kind == "monitor":
+            fingerprint = fingerprint_digest(
+                data_fp, config_fp, spec.monitor_fingerprint()
+            )
+        else:
+            fingerprint = fingerprint_digest(data_fp, config_fp)
+
+        with self._lock:
+            serial = self._submissions.get(fingerprint, 0)
+            self._submissions[fingerprint] = serial + 1
+            job_id = (
+                f"{spec.tenant}/{spec.kind}-{fingerprint[:12]}-{serial}"
+            )
+            record = JobRecord(
+                job_id=job_id,
+                spec=spec,
+                fingerprint=fingerprint,
+                data_digest=data_digest,
+                submitted_at=time.time(),
+                tracer=Tracer() if self.trace else NULL_TRACER,
+                x0=x0,
+                errors=errors,
+            )
+            self.jobs[job_id] = record
+            self._order.append(job_id)
+            self.registry.event("serve.submitted")
+            quota = self.quota_for(spec.tenant)
+            if quota.budgets is not None:
+                record.effective_budgets = quota.budgets.merged(spec.budgets)
+            else:
+                record.effective_budgets = spec.budgets
+
+            if spec.kind == "find":
+                cached = self.cache.get(fingerprint)
+                if cached is not None:
+                    with record.tracer.span(
+                        "serve.cache_hit", fingerprint=fingerprint[:12]
+                    ):
+                        pass
+                    self._finish_locked(
+                        record, JobState.COMPLETED, result=cached,
+                        cache_hit=True,
+                    )
+                    self.registry.event("serve.cache_hits")
+                    self._refresh_gauges_locked()
+                    return record
+                self.registry.event("serve.cache_misses")
+                origin = self._inflight.get(fingerprint)
+                if origin is not None:
+                    # Identical job already pending/running: ride on it
+                    # instead of enumerating the same lattice twice.
+                    record.coalesced = True
+                    self._waiters.setdefault(fingerprint, []).append(record)
+                    self._refresh_gauges_locked()
+                    return record
+                seeds = self.cache.warm_seeds(data_digest)
+                if seeds:
+                    record.warm_seeds = seeds
+                    self.registry.event("serve.warm_starts")
+
+            decision = self.queue.admit(record, quota)
+            record.admission = decision
+            if not decision.admitted:
+                self._finish_locked(
+                    record, JobState.REJECTED, reason=decision.reason
+                )
+                self.registry.event("serve.rejections")
+                self._refresh_gauges_locked()
+                return record
+            if spec.kind == "find":
+                self._inflight[fingerprint] = record
+            self._refresh_gauges_locked()
+        self.scheduler.maybe_preempt(record)
+        return record
+
+    # -- inspection ----------------------------------------------------------
+
+    def _record(self, job_id: str) -> JobRecord:
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise ServeError(f"unknown job id {job_id!r}")
+        return record
+
+    def status(self, job_id: str) -> dict:
+        with self._lock:
+            return self._record(job_id).to_dict()
+
+    def result(self, job_id: str, timeout: float | None = None):
+        """Block for the job's :class:`SliceLineResult`.
+
+        Raises :class:`~repro.exceptions.ServeError` on timeout or when
+        the job ended without a result (failed/cancelled/rejected).
+        """
+        record = self._record(job_id)
+        if not record.wait(timeout):
+            raise ServeError(
+                f"job {job_id!r} did not finish within {timeout}s "
+                f"(state={record.state})"
+            )
+        if record.state != JobState.COMPLETED:
+            raise ServeError(
+                f"job {job_id!r} ended {record.state}"
+                + (f": {record.reason}" if record.reason else "")
+                + (f" ({record.error})" if record.error else "")
+            )
+        return record.result
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until every submitted job is terminal."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            records = list(self.jobs.values())
+        for record in records:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                return False
+            if not record.wait(remaining):
+                return False
+        return True
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "jobs": len(self.jobs),
+                "queue_depth": self.queue.depth(),
+                "running": self.queue.running_count(),
+                "cache": self.cache.stats(),
+                "events": dict(self.registry.events),
+                "gauges": dict(self.registry.gauges),
+            }
+
+    def status_document(self) -> dict:
+        """The full ``repro.serve/v1`` status JSON (see EXPERIMENTS.md)."""
+        with self._lock:
+            return {
+                "schema": SERVE_SCHEMA,
+                "generated_at": time.time(),
+                "jobs": [
+                    self.jobs[job_id].to_dict() for job_id in self._order
+                ],
+                "tenants": {
+                    tenant: {
+                        **stats,
+                        "quota": self.quota_for(tenant).to_dict(),
+                    }
+                    for tenant, stats in self.queue.tenant_stats().items()
+                },
+                "cache": self.cache.stats(),
+                "events": dict(self.registry.events),
+                "gauges": dict(self.registry.gauges),
+            }
+
+    # -- control -------------------------------------------------------------
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; True when the cancellation took (or will take).
+
+        Queued jobs are withdrawn immediately; a running job is asked to
+        suspend and is cancelled when it yields at the next level
+        boundary (or between monitor batches).  Terminal jobs return
+        False.
+        """
+        with self._lock:
+            record = self._record(job_id)
+            if record.terminal:
+                return False
+            if record.coalesced and not record.terminal:
+                waiters = self._waiters.get(record.fingerprint, [])
+                if record in waiters:
+                    waiters.remove(record)
+                    self._finish_locked(
+                        record, JobState.CANCELLED, reason="user-cancel"
+                    )
+                    self.registry.event("serve.cancellations")
+                    self._refresh_gauges_locked()
+                    return True
+            if record.state in (JobState.PENDING, JobState.SUSPENDED):
+                if self.queue.remove(record):
+                    self._release_inflight_locked(record)
+                    self._finish_locked(
+                        record, JobState.CANCELLED, reason="user-cancel"
+                    )
+                    self.registry.event("serve.cancellations")
+                    self._refresh_gauges_locked()
+                    return True
+            # Running (or a pending record a worker is just picking up):
+            # flag it; the worker finalizes the cancellation on yield.
+            record.cancel_requested = True
+            record.suspend.request()
+            return True
+
+    def suspend(self, job_id: str) -> bool:
+        """Ask a running job to suspend at its next level boundary."""
+        with self._lock:
+            record = self._record(job_id)
+            if record.terminal or record.spec.kind != "find":
+                return False
+            record.suspend.request()
+            return True
+
+    # -- execution (worker threads) ------------------------------------------
+
+    def _execute(self, record: JobRecord) -> None:
+        with self._lock:
+            if record.terminal:
+                return
+            if record.cancel_requested:
+                self.queue.release(record)
+                self._release_inflight_locked(record)
+                self._finish_locked(
+                    record, JobState.CANCELLED, reason="user-cancel"
+                )
+                self.registry.event("serve.cancellations")
+                self._refresh_gauges_locked()
+                return
+            resuming = record.state == JobState.SUSPENDED
+            record.state = JobState.RUNNING
+            record.started_at = time.time()
+            if resuming:
+                record.resumes += 1
+                self.registry.event("serve.resumes")
+            self._refresh_gauges_locked()
+        try:
+            if record.spec.kind == "monitor":
+                result = self._run_monitor(record)
+            else:
+                result = self._run_find(record)
+        except Exception as exc:  # noqa: BLE001 — a job must never kill a worker
+            with self._lock:
+                self.queue.release(record)
+                self._release_inflight_locked(record, promote=True)
+                self._finish_locked(
+                    record,
+                    JobState.FAILED,
+                    reason="exception",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self.registry.event("serve.failures")
+                self._refresh_gauges_locked()
+            return
+
+        with self._lock:
+            if result is not None and result.suspended:
+                if record.cancel_requested:
+                    self.queue.release(record)
+                    self._release_inflight_locked(record, promote=True)
+                    self._finish_locked(
+                        record, JobState.CANCELLED, reason="user-cancel"
+                    )
+                    self.registry.event("serve.cancellations")
+                else:
+                    record.state = JobState.SUSPENDED
+                    record.has_checkpoint = True
+                    record.preemptions += 1
+                    record.suspend.clear()
+                    self.registry.event("serve.preemptions")
+                    # Front of the backlog: the suspended job resumes
+                    # before the tenant's newer submissions.
+                    self.queue.requeue(record)
+                self._refresh_gauges_locked()
+                return
+            if record.cancel_requested and record.spec.kind == "monitor":
+                # The monitor loop broke between batches on the flag.
+                self.queue.release(record)
+                self._finish_locked(
+                    record, JobState.CANCELLED, reason="user-cancel"
+                )
+                self.registry.event("serve.cancellations")
+                self._refresh_gauges_locked()
+                return
+            self.queue.release(record)
+            if record.spec.kind == "find" and result is not None:
+                self.cache.put(record.fingerprint, record.data_digest, result)
+                self._settle_waiters_locked(record.fingerprint, result)
+            self._inflight.pop(record.fingerprint, None)
+            self._finish_locked(record, JobState.COMPLETED, result=result)
+            self.registry.event("serve.completed")
+            self._refresh_gauges_locked()
+
+    def _run_find(self, record: JobRecord):
+        spec = record.spec
+        checkpoint_dir = self._checkpoint_dir(record)
+        resume_from = (
+            latest_checkpoint(checkpoint_dir) if record.has_checkpoint else None
+        )
+        with record.tracer.span(
+            "serve.run",
+            job_id=record.job_id,
+            resumed=resume_from is not None,
+            warm_seeds=len(record.warm_seeds),
+        ):
+            return slice_line(
+                record.x0,
+                record.errors,
+                config=spec.config,
+                num_threads=spec.num_threads,
+                trace=record.tracer if self.trace else None,
+                seed_slices=record.warm_seeds or None,
+                budgets=record.effective_budgets,
+                checkpoint_dir=checkpoint_dir,
+                resume_from=resume_from,
+                suspend=record.suspend,
+            )
+
+    def _run_monitor(self, record: JobRecord):
+        # Local imports: the streaming layer is only needed for monitor
+        # jobs, and importing it lazily keeps service start-up lean.
+        from repro.datasets.replay import replay_batches
+        from repro.streaming.monitor import SliceMonitor
+
+        spec = record.spec
+        monitor = SliceMonitor(
+            config=spec.config,
+            window_size=spec.window_size if spec.policy == "sliding" else None,
+            policy=spec.policy,
+            warm_start=spec.warm_start,
+            num_threads=spec.num_threads,
+            trace=record.tracer if self.trace else None,
+            budgets=record.effective_budgets,
+        )
+        record.monitor = monitor
+        since_tick = 0
+        with record.tracer.span("serve.monitor", job_id=record.job_id):
+            for batch in replay_batches(
+                record.x0, record.errors, spec.batch_size
+            ):
+                if record.suspend.requested:
+                    # Monitor jobs have no checkpoint; a suspend request
+                    # here is a cancellation (the only caller that sets it
+                    # on a monitor job is cancel()).
+                    return None
+                monitor.ingest(batch)
+                since_tick += 1
+                if since_tick >= spec.tick_every:
+                    monitor.tick()
+                    since_tick = 0
+            if since_tick > 0 and len(monitor.window) > 0:
+                monitor.tick()
+        return monitor.ticks[-1].result if monitor.ticks else None
+
+    # -- internals (call with the lock held) ---------------------------------
+
+    def _checkpoint_dir(self, record: JobRecord) -> str:
+        safe = _JOB_ID_SANITIZE.sub("_", record.job_id)
+        path = os.path.join(self.workdir, safe)
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def _finish_locked(
+        self,
+        record: JobRecord,
+        state: str,
+        result=None,
+        reason: str = "",
+        error: str | None = None,
+        cache_hit: bool = False,
+    ) -> None:
+        record.state = state
+        record.reason = reason
+        if result is not None:
+            record.result = result
+        if error is not None:
+            record.error = error
+        if cache_hit:
+            record.cache_hit = True
+        record.finished_at = time.time()
+        record.done.set()
+
+    def _settle_waiters_locked(self, fingerprint: str, result) -> None:
+        for waiter in self._waiters.pop(fingerprint, []):
+            self._finish_locked(
+                waiter, JobState.COMPLETED, result=result, cache_hit=True
+            )
+            self.registry.event("serve.cache_hits")
+
+    def _release_inflight_locked(
+        self, record: JobRecord, promote: bool = False
+    ) -> None:
+        """Drop a failed/cancelled origin; optionally promote a waiter.
+
+        Without promotion the coalesced duplicates would wait forever on a
+        job that will never complete — the first waiter is re-admitted as
+        the new origin, the rest keep waiting on it.
+        """
+        fingerprint = record.fingerprint
+        if self._inflight.get(fingerprint) is not record:
+            return
+        self._inflight.pop(fingerprint, None)
+        waiters = self._waiters.pop(fingerprint, [])
+        if not waiters:
+            return
+        if not promote:
+            self._waiters[fingerprint] = waiters
+            return
+        origin, rest = waiters[0], waiters[1:]
+        origin.coalesced = False
+        quota = self.quota_for(origin.spec.tenant)
+        decision = self.queue.admit(origin, quota)
+        origin.admission = decision
+        if decision.admitted:
+            self._inflight[fingerprint] = origin
+            if rest:
+                self._waiters[fingerprint] = rest
+        else:
+            self._finish_locked(
+                origin, JobState.REJECTED, reason=decision.reason
+            )
+            self.registry.event("serve.rejections")
+            for waiter in rest:
+                self._finish_locked(
+                    waiter, JobState.REJECTED, reason=decision.reason
+                )
+                self.registry.event("serve.rejections")
+
+    def _refresh_gauges_locked(self) -> None:
+        self.registry.gauge("serve.queue_depth", self.queue.depth())
+        self.registry.gauge("serve.running", self.queue.running_count())
+        cache = self.cache.stats()
+        self.registry.gauge("serve.cache_entries", cache["entries"])
+        self.registry.gauge("serve.cache_hits", cache["hits"])
+        self.registry.gauge("serve.cache_misses", cache["misses"])
+
+
+__all__ = ["SERVE_SCHEMA", "SliceService"]
