@@ -132,10 +132,17 @@ class JobQueue:
                     return None
                 choice = self._pick_locked()
                 if choice is not None:
-                    tenant = choice
-                    record = self._pending[tenant].popleft()
+                    tenant, index = choice
+                    backlog = self._pending[tenant]
+                    record = backlog[index]
+                    del backlog[index]
                     self._running[tenant] = self._running.get(tenant, 0) + 1
-                    self._served[tenant] = self._served.get(tenant, 0) + 1
+                    if not record.dispatched:
+                        # Historical service counts a job once; re-takes of
+                        # a preempted job must not skew the fair-share
+                        # tie-break against preemption victims.
+                        record.dispatched = True
+                        self._served[tenant] = self._served.get(tenant, 0) + 1
                     return record
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -145,8 +152,13 @@ class JobQueue:
                 else:
                     self._cond.wait()
 
-    def _pick_locked(self) -> str | None:
-        """The eligible tenant whose head job should run next."""
+    def _pick_locked(self) -> tuple[str, int] | None:
+        """The eligible tenant and backlog index of the job to run next.
+
+        Interactive jobs are served first even when queued behind a batch
+        job of the same tenant, so the candidate per tenant is its first
+        interactive job when it has one, its head job otherwise.
+        """
         best = None
         best_key = None
         for tenant, backlog in self._pending.items():
@@ -156,15 +168,22 @@ class JobQueue:
             running = self._running.get(tenant, 0)
             if running >= quota.max_running:
                 continue
-            head = backlog[0]
+            index = next(
+                (
+                    i
+                    for i, job in enumerate(backlog)
+                    if job.spec.interactive
+                ),
+                0,
+            )
             key = (
-                0 if head.spec.interactive else 1,
+                0 if backlog[index].spec.interactive else 1,
                 running / quota.weight,
                 self._served.get(tenant, 0) / quota.weight,
                 tenant,
             )
             if best_key is None or key < best_key:
-                best, best_key = tenant, key
+                best, best_key = (tenant, index), key
         return best
 
     def requeue(self, record: JobRecord) -> None:
@@ -193,6 +212,12 @@ class JobQueue:
             except ValueError:
                 return False
             return True
+
+    def has_free_slot(self, tenant: str) -> bool:
+        """True when *tenant* is below its ``max_running`` limit."""
+        with self._cond:
+            quota = self._quota_for(tenant)
+            return self._running.get(tenant, 0) < quota.max_running
 
     def depth(self) -> int:
         with self._cond:

@@ -84,6 +84,10 @@ class Scheduler:
         """
         if not self.preemption or not incoming.spec.interactive:
             return None
+        if not self.queue.has_free_slot(incoming.spec.tenant):
+            # The incoming tenant is at max_running: suspending a victim
+            # would free a worker the new job cannot use yet.
+            return None
         with self._lock:
             if len(self._executing) < self.num_workers:
                 return None

@@ -328,7 +328,7 @@ class SliceService:
                     return True
             if record.state in (JobState.PENDING, JobState.SUSPENDED):
                 if self.queue.remove(record):
-                    self._release_inflight_locked(record)
+                    self._release_inflight_locked(record, promote=True)
                     self._finish_locked(
                         record, JobState.CANCELLED, reason="user-cancel"
                     )
@@ -358,7 +358,7 @@ class SliceService:
                 return
             if record.cancel_requested:
                 self.queue.release(record)
-                self._release_inflight_locked(record)
+                self._release_inflight_locked(record, promote=True)
                 self._finish_locked(
                     record, JobState.CANCELLED, reason="user-cancel"
                 )
@@ -421,10 +421,20 @@ class SliceService:
                 self._refresh_gauges_locked()
                 return
             self.queue.release(record)
-            if record.spec.kind == "find" and result is not None:
-                self.cache.put(record.fingerprint, record.data_digest, result)
-                self._settle_waiters_locked(record.fingerprint, result)
-            self._inflight.pop(record.fingerprint, None)
+            if record.spec.kind == "find":
+                cacheable = result is not None and self.cache.put(
+                    record.fingerprint, record.data_digest, result
+                )
+                if cacheable:
+                    self._inflight.pop(record.fingerprint, None)
+                    self._settle_waiters_locked(record.fingerprint, result)
+                else:
+                    # A budget-tripped partial top-K is valid for this
+                    # job's own budgets, but budgets are not part of the
+                    # fingerprint — a coalesced waiter with looser budgets
+                    # must not inherit the truncated answer.  Promote the
+                    # first waiter to re-run under its own budgets.
+                    self._release_inflight_locked(record, promote=True)
             self._finish_locked(record, JobState.COMPLETED, result=result)
             self.registry.event("serve.completed")
             self._refresh_gauges_locked()
@@ -481,13 +491,16 @@ class SliceService:
                     # here is a cancellation (the only caller that sets it
                     # on a monitor job is cancel()).
                     return None
-                monitor.ingest(batch)
+                with record.monitor_lock:
+                    monitor.ingest(batch)
                 since_tick += 1
                 if since_tick >= spec.tick_every:
-                    monitor.tick()
+                    with record.monitor_lock:
+                        monitor.tick()
                     since_tick = 0
             if since_tick > 0 and len(monitor.window) > 0:
-                monitor.tick()
+                with record.monitor_lock:
+                    monitor.tick()
         return monitor.ticks[-1].result if monitor.ticks else None
 
     # -- internals (call with the lock held) ---------------------------------
@@ -528,11 +541,13 @@ class SliceService:
     def _release_inflight_locked(
         self, record: JobRecord, promote: bool = False
     ) -> None:
-        """Drop a failed/cancelled origin; optionally promote a waiter.
+        """Drop an origin that won't produce a cacheable result; promote a waiter.
 
+        Used when the origin failed, was cancelled, or completed with a
+        budget-tripped partial result no other submission may inherit.
         Without promotion the coalesced duplicates would wait forever on a
-        job that will never complete — the first waiter is re-admitted as
-        the new origin, the rest keep waiting on it.
+        fingerprint with no in-flight origin — the first waiter is
+        re-admitted as the new origin, the rest keep waiting on it.
         """
         fingerprint = record.fingerprint
         if self._inflight.get(fingerprint) is not record:

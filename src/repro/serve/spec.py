@@ -171,6 +171,9 @@ class JobRecord:
     coalesced: bool = False
     cancel_requested: bool = False
     has_checkpoint: bool = False
+    #: the job has been handed to a worker at least once (fair-share
+    #: service is charged on first dispatch only, not on resume re-takes)
+    dispatched: bool = False
     #: cooperative preemption/cancellation flag the running enumeration polls
     suspend: SuspendHook = field(default_factory=SuspendHook)
     #: set exactly once, on entering a terminal state
@@ -179,6 +182,9 @@ class JobRecord:
     tracer: Any = None
     #: the live monitor object for kind="monitor" jobs (set by the worker)
     monitor: Any = None
+    #: serializes monitor mutations (worker ingest/tick) against status
+    #: reads — the service lock does not cover the worker's monitor calls
+    monitor_lock: threading.Lock = field(default_factory=threading.Lock)
     #: resolved data (kept so resume re-derives the identical matrices)
     x0: np.ndarray | None = None
     errors: np.ndarray | None = None
@@ -246,21 +252,19 @@ class JobRecord:
             ),
         }
         if self.spec.kind == "monitor" and self.monitor is not None:
-            out["monitor"] = {
-                "num_ticks": len(self.monitor.ticks),
-                "quarantined": [
-                    record.to_dict()
-                    for record in self.monitor.quarantine_records()
-                ],
-                "drift": [
-                    signal.to_dict() for signal in self.monitor.latest_drift()
-                ],
-                "num_degraded": sum(
-                    1
-                    for signal in self.monitor.latest_drift()
-                    if signal.degraded()
-                ),
-            }
+            with self.monitor_lock:
+                drift = self.monitor.latest_drift()
+                out["monitor"] = {
+                    "num_ticks": len(self.monitor.ticks),
+                    "quarantined": [
+                        record.to_dict()
+                        for record in self.monitor.quarantine_records()
+                    ],
+                    "drift": [signal.to_dict() for signal in drift],
+                    "num_degraded": sum(
+                        1 for signal in drift if signal.degraded()
+                    ),
+                }
         return out
 
 

@@ -413,6 +413,27 @@ class TestJobQueue:
         assert not queue.remove(record)
         assert queue.depth() == 0
 
+    def test_served_is_charged_once_across_preemption_retakes(self):
+        quota = TenantQuota(max_running=4, max_queued=16)
+        queue = JobQueue(lambda tenant: quota)
+        record = self._record("a")
+        queue.admit(record, quota)
+        assert queue.take(timeout=0.1) is record
+        queue.requeue(record)  # preempted
+        assert queue.take(timeout=0.1) is record  # resumed
+        # one unit of historical service, not one per dispatch
+        assert queue.tenant_stats()["a"]["served"] == 1
+
+    def test_interactive_behind_same_tenant_batch_still_jumps(self):
+        quota = TenantQuota(max_running=4, max_queued=16)
+        queue = JobQueue(lambda tenant: quota)
+        batch = self._record("t")
+        live = self._record("t", interactive=True)
+        queue.admit(batch, quota)
+        queue.admit(live, quota)
+        assert queue.take(timeout=0.1) is live
+        assert queue.take(timeout=0.1) is batch
+
 
 # ---------------------------------------------------------------------------
 # service end-to-end
@@ -504,6 +525,59 @@ class TestSliceService:
         finally:
             service.shutdown()
 
+    def test_budget_tripped_origin_does_not_settle_waiters(
+        self, planted_dataset, service_workdir
+    ):
+        x0, errors, _ = planted_dataset
+        service = SliceService(
+            num_workers=1, workdir=service_workdir, start=False
+        )
+        try:
+            origin = service.submit(
+                self._spec(
+                    planted_dataset,
+                    budgets=BudgetConfig(max_candidates_per_level=1),
+                )
+            )
+            # budgets are not part of the fingerprint, so this coalesces
+            waiter = service.submit(self._spec(planted_dataset))
+            assert waiter.coalesced
+            service.start()
+            partial = service.result(origin.job_id, timeout=60)
+            assert not partial.completed
+            # the waiter must not inherit the truncated top-K: it is
+            # promoted and re-run under its own (absent) budgets
+            full = service.result(waiter.job_id, timeout=60)
+            assert full.completed
+            assert not waiter.cache_hit
+            assert len(service.cache) == 1  # only the full result is cached
+        finally:
+            service.shutdown()
+        cold = slice_line(x0, errors, SliceLineConfig(k=3))
+        assert np.array_equal(full.top_stats, cold.top_stats)
+        assert np.array_equal(
+            full.top_slices_encoded, cold.top_slices_encoded
+        )
+
+    def test_cancelled_pending_origin_promotes_coalesced_waiter(
+        self, planted_dataset, service_workdir
+    ):
+        service = SliceService(
+            num_workers=1, workdir=service_workdir, start=False
+        )
+        try:
+            origin = service.submit(self._spec(planted_dataset))
+            waiter = service.submit(self._spec(planted_dataset))
+            assert waiter.coalesced
+            assert service.cancel(origin.job_id)
+            assert origin.state == JobState.CANCELLED
+            service.start()
+            result = service.result(waiter.job_id, timeout=60)
+            assert result.completed
+            assert waiter.state == JobState.COMPLETED
+        finally:
+            service.shutdown()
+
     def test_preempted_then_resumed_matches_cold_bitwise(
         self, planted_dataset, service_workdir
     ):
@@ -555,6 +629,40 @@ class TestSliceService:
             assert live.spec.interactive
             assert batch.suspend.requested
             # the victim is now suspending; no second victim is picked
+            assert scheduler.maybe_preempt(live) is None
+        finally:
+            service.shutdown()
+
+    def test_no_preemption_when_interactive_tenant_has_no_free_slot(
+        self, planted_dataset, service_workdir
+    ):
+        quotas = {
+            "batch": TenantQuota(max_running=2),
+            "live": TenantQuota(max_running=1),
+        }
+        service = SliceService(
+            quotas=quotas, num_workers=1, workdir=service_workdir,
+            start=False,
+        )
+        try:
+            batch = service.submit(
+                self._spec(
+                    planted_dataset,
+                    SliceLineConfig(k=5, max_level=4),
+                    tenant="batch",
+                )
+            )
+            scheduler = service.scheduler
+            scheduler._executing[batch.job_id] = batch  # simulate running
+            batch.started_at = time.time()
+            service.queue._running["live"] = 1  # live is at max_running
+            live = service.submit(
+                self._spec(planted_dataset, tenant="live", interactive=True)
+            )
+            assert live.spec.interactive
+            # suspending the batch job would free a worker "live" cannot
+            # use yet, so no victim is picked
+            assert not batch.suspend.requested
             assert scheduler.maybe_preempt(live) is None
         finally:
             service.shutdown()
@@ -669,6 +777,37 @@ class TestSliceService:
                 record.monitor.latest_drift()
             )
             json.dumps(status)  # the whole record must be JSON-safe
+
+    def test_status_is_consistent_while_monitor_job_runs(
+        self, planted_dataset, service_workdir
+    ):
+        x0, errors, _ = planted_dataset
+        with SliceService(num_workers=1, workdir=service_workdir) as service:
+            record = service.submit(
+                JobSpec(
+                    kind="monitor", x0=x0, errors=errors,
+                    config=SliceLineConfig(k=3, max_level=2),
+                    batch_size=50, tick_every=1,
+                )
+            )
+            seen_errors = []
+
+            def hammer():
+                # status() must never observe torn monitor state while the
+                # worker ingests/ticks concurrently
+                while not record.done.is_set():
+                    try:
+                        json.dumps(service.status(record.job_id))
+                    except Exception as exc:  # pragma: no cover
+                        seen_errors.append(exc)
+                        return
+                    time.sleep(0.001)
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            service.result(record.job_id, timeout=120)
+            thread.join(timeout=30)
+            assert seen_errors == []
 
     def test_status_document_schema(self, planted_dataset, service_workdir):
         with SliceService(num_workers=1, workdir=service_workdir) as service:
