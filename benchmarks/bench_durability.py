@@ -1,0 +1,160 @@
+"""Durability overhead: journaling must cost < 5%, restarts must be fast.
+
+The crash-durability layer (``repro.serve.durability``) is meant to be
+left on for any long-lived deployment, so its fault-free cost has to be
+small and its recovery path has to be cheap.  Three measurements, two of
+them gated:
+
+* **journaling overhead** — the same submit-to-result workload through a
+  ``state_dir``-backed service (fsync'd WAL appends + durable cache
+  spill) vs. the in-memory service.  Interleaved min-of-rounds, gated at
+  ``OVERHEAD_BUDGET`` (< 5%).  Both arms must stay bitwise identical to
+  the cold :func:`repro.core.slice_line` oracle — durability may only
+  *persist* work, never change it.
+* **cold-restart recovery** — seconds to construct a service over a
+  state dir holding a warm cache and a full journal (WAL replay + spill
+  reload).  Recorded, and gated indirectly: the resubmission after
+  restart must be a zero-enumeration cache hit, bitwise equal to the
+  pre-crash result.
+
+Everything lands in ``benchmarks/BENCH_durability.json``
+(``repro.bench_durability/v1``).
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core import SliceLineConfig, slice_line
+from repro.serve import JobSpec, SliceService
+
+from conftest import BENCH_SCALES, bench_dataset, run_once
+
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_durability.json"
+
+#: journaling may cost at most this fraction of the submit->result time
+OVERHEAD_BUDGET = 0.05
+#: interleaved timing rounds per arm (min is reported)
+ROUNDS = 5
+#: distinct-config jobs persisted before the restart measurement
+WARM_JOBS = 6
+
+WORKLOAD = "covtype"
+CFG = SliceLineConfig(k=8, max_level=2)
+
+
+def _spec(cfg=CFG):
+    return JobSpec(
+        tenant="bench",
+        dataset=WORKLOAD,
+        scale=BENCH_SCALES[WORKLOAD],
+        config=cfg,
+    )
+
+
+def _submit_and_time(service, spec):
+    start = time.perf_counter()
+    record = service.submit(spec)
+    result = service.result(record.job_id, timeout=600)
+    return time.perf_counter() - start, record, result
+
+
+def _assert_bitwise_identical(oracle, served):
+    assert served.completed
+    assert np.array_equal(oracle.top_stats, served.top_stats)
+    assert np.array_equal(
+        oracle.top_slices_encoded, served.top_slices_encoded
+    )
+
+
+def test_durability_overhead_and_recovery(benchmark, tmp_path):
+    bundle = bench_dataset(WORKLOAD)
+    oracle = run_once(
+        benchmark, lambda: slice_line(bundle.x0, bundle.errors, CFG)
+    )
+
+    # -- journaling overhead: interleaved rounds, fresh state per round --
+    seconds_off, seconds_on = [], []
+    for round_index in range(ROUNDS):
+        with SliceService(
+            num_workers=1,
+            workdir=str(tmp_path / f"plain-{round_index}"),
+        ) as service:
+            seconds, _, result = _submit_and_time(service, _spec())
+            seconds_off.append(seconds)
+            _assert_bitwise_identical(oracle, result)
+        with SliceService(
+            num_workers=1,
+            state_dir=str(tmp_path / f"durable-{round_index}"),
+        ) as service:
+            seconds, _, result = _submit_and_time(service, _spec())
+            seconds_on.append(seconds)
+            _assert_bitwise_identical(oracle, result)
+
+    min_off, min_on = min(seconds_off), min(seconds_on)
+    overhead = (min_on - min_off) / min_off
+    assert overhead < OVERHEAD_BUDGET, (
+        f"journaling overhead {overhead:.2%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} (WAL-off {min_off:.3f}s, "
+        f"WAL-on {min_on:.3f}s)"
+    )
+
+    # -- cold-restart recovery over a warm cache + full journal ----------
+    state = str(tmp_path / "restart-state")
+    warm_cfgs = [
+        SliceLineConfig(k=4 + index, max_level=2) for index in range(WARM_JOBS)
+    ]
+    with SliceService(num_workers=1, state_dir=state) as service:
+        for cfg in warm_cfgs:
+            service.submit(_spec(cfg))
+        assert service.wait(timeout=600)
+        pre_crash = service.cache.stats()
+
+    start = time.perf_counter()
+    recovered = SliceService(num_workers=1, state_dir=state)
+    seconds_recovery = time.perf_counter() - start
+    try:
+        seconds_hit, record_hit, result_hit = _submit_and_time(
+            recovered, _spec(warm_cfgs[0])
+        )
+        assert record_hit.cache_hit, "post-restart resubmission re-ran"
+        stats = recovered.stats()
+        assert not stats["durability"]["recovery_errors"]
+        assert not stats["durability"]["wal_quarantined"]
+    finally:
+        recovered.shutdown()
+    oracle_first = slice_line(bundle.x0, bundle.errors, warm_cfgs[0])
+    _assert_bitwise_identical(oracle_first, result_hit)
+
+    document = {
+        "schema": "repro.bench_durability/v1",
+        "workload": WORKLOAD,
+        "num_rows": int(bundle.x0.shape[0]),
+        "rounds": ROUNDS,
+        "seconds_wal_off": min_off,
+        "seconds_wal_on": min_on,
+        "journal_overhead": overhead,
+        "overhead_budget": OVERHEAD_BUDGET,
+        "restart": {
+            "warm_jobs": WARM_JOBS,
+            "wal_records_replayed": stats["durability"]["wal_replayed"],
+            "cache_entries_recovered": pre_crash["entries"],
+            "seconds_recovery": seconds_recovery,
+            "seconds_cache_hit_after_restart": seconds_hit,
+        },
+    }
+    OUT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+    print(
+        f"\ndurability benchmark ({WORKLOAD}, {bundle.x0.shape[0]} rows), "
+        f"written to {OUT_PATH}\n"
+        f"  submit->result WAL off  {min_off * 1e3:8.1f} ms\n"
+        f"  submit->result WAL on   {min_on * 1e3:8.1f} ms "
+        f"({overhead:+.2%}, budget {OVERHEAD_BUDGET:.0%})\n"
+        f"  cold-restart recovery   {seconds_recovery * 1e3:8.1f} ms "
+        f"({pre_crash['entries']} cached result(s), "
+        f"{stats['durability']['wal_replayed']} WAL record(s))\n"
+        f"  cache hit after restart {seconds_hit * 1e3:8.1f} ms"
+    )

@@ -2,4 +2,8 @@
 
 from repro.cli import main
 
-raise SystemExit(main())
+# The __name__ guard is load-bearing: spawned worker processes
+# (serve --process-workers) re-import this module as __mp_main__, which
+# must not re-run the CLI.
+if __name__ == "__main__":
+    raise SystemExit(main())

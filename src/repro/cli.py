@@ -441,9 +441,30 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="result-cache capacity in entries (default 64)",
     )
     parser.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="byte bound on the result cache (size-aware eviction of the "
+        "serialized entries; default: unbounded)",
+    )
+    parser.add_argument(
         "--workdir", metavar="DIR", default=None,
         help="directory for per-job checkpoint trees (default: a fresh "
         "temporary directory)",
+    )
+    parser.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durable state root (repro.wal/v1 job journal + disk-backed "
+        "result cache); restarting over the same directory recovers "
+        "completed results and resumes in-flight jobs",
+    )
+    parser.add_argument(
+        "--process-workers", action="store_true",
+        help="run find jobs in supervised spawned worker processes "
+        "(survives worker SIGKILL) instead of threads",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="kill a worker process silent for this long (process "
+        "workers only; default 30)",
     )
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
@@ -480,10 +501,26 @@ def serve_main(argv: list[str]) -> int:
         service = SliceService(
             num_workers=args.workers,
             cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes,
             workdir=args.workdir,
             trace=args.trace,
             preemption=not args.no_preemption,
+            state_dir=args.state_dir,
+            worker_mode="process" if args.process_workers else "thread",
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            start=False,
         )
+        recovered = [
+            record
+            for record in service.jobs.values()
+            if record.recovered and not record.terminal
+        ]
+        if recovered:
+            print(
+                f"recovered {len(recovered)} unfinished job(s) from "
+                f"{args.state_dir}"
+            )
+        service.start()
         records = [service.submit(spec) for spec in specs]
         finished = service.wait(timeout=args.timeout)
         service.shutdown()

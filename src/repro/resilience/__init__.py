@@ -15,6 +15,14 @@ way, which is what lets the core driver check budgets and write checkpoints
 without an import cycle.
 """
 
+from repro.resilience.atomic import (
+    atomic_replace_dir,
+    atomic_write_bytes,
+    atomic_write_json,
+    fsync_dir,
+    fsync_file,
+    remove_stale_tmp,
+)
 from repro.resilience.budgets import (
     BudgetConfig,
     BudgetTracker,
@@ -26,7 +34,11 @@ from repro.resilience.chaos import (
     ChaosInjector,
     FaultPlan,
     InjectedFault,
+    corrupt_file,
+    kill_process,
     make_corrupt_batch,
+    pick_kill_delay,
+    truncate_file,
 )
 from repro.resilience.checkpoint import (
     CKPT_SCHEMA,
@@ -53,6 +65,12 @@ from repro.resilience.retry import (
 )
 
 __all__ = [
+    "atomic_replace_dir",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "fsync_dir",
+    "fsync_file",
+    "remove_stale_tmp",
     "BudgetConfig",
     "BudgetTracker",
     "BudgetTrip",
@@ -61,7 +79,11 @@ __all__ = [
     "ChaosInjector",
     "FaultPlan",
     "InjectedFault",
+    "corrupt_file",
+    "kill_process",
     "make_corrupt_batch",
+    "pick_kill_delay",
+    "truncate_file",
     "CKPT_SCHEMA",
     "CheckpointState",
     "fingerprint_config",

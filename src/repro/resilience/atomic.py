@@ -1,0 +1,149 @@
+"""Crash-safe filesystem primitives shared by the durability layers.
+
+Three consumers need the same "write a temporary sibling, fsync it, then
+``os.replace`` it into place and fsync the directory" dance: ``repro.ckpt/v1``
+checkpoint bundles, ``repro.wal/v1`` journal segments, and the serving
+layer's cache spill files.  The primitives live here once so every layer
+gets identical crash semantics:
+
+* after :func:`atomic_write_bytes` returns, the file at *path* holds either
+  its previous content or the new content in full — never a torn mix, even
+  across power loss (the payload is fsync'd before the rename and the
+  directory entry after);
+* a crash mid-write leaves at most a ``*.tmp-*`` sibling behind, which
+  :func:`remove_stale_tmp` sweeps on the next start-up;
+* :func:`atomic_replace_dir` gives whole directories (checkpoint bundles)
+  the same either-old-or-new guarantee, minus the window inherent in
+  replacing a non-empty directory (the staging copy is always complete
+  before the target is touched).
+
+``durable=False`` skips every fsync — same atomicity against process
+crashes (the rename is still atomic), no durability against power loss —
+for callers like heartbeat files where freshness matters more than
+persistence.
+
+This module imports nothing from the rest of the package (exceptions
+aside) so every layer can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+
+
+def fsync_file(handle) -> None:
+    """Flush *handle*'s buffers and fsync its descriptor."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_dir(path: str) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, durable: bool = True) -> None:
+    """Write *data* to *path* atomically (tmp sibling + ``os.replace``).
+
+    After return the file holds either its old content or *data* in full.
+    With ``durable=True`` the payload is fsync'd before the rename and the
+    directory entry after, so the guarantee extends to power loss.
+    """
+    directory = os.path.dirname(path) or "."
+    tmp = os.path.join(
+        directory, f"{os.path.basename(path)}.tmp-{uuid.uuid4().hex[:8]}"
+    )
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            if durable:
+                fsync_file(handle)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(directory)
+
+
+def atomic_write_json(
+    path: str, obj, durable: bool = True, indent: int | None = 2
+) -> None:
+    """:func:`atomic_write_bytes` for a JSON document."""
+    atomic_write_bytes(
+        path,
+        json.dumps(obj, indent=indent, sort_keys=True).encode(),
+        durable=durable,
+    )
+
+
+def atomic_replace_dir(staging: str, target: str, durable: bool = True) -> None:
+    """Move a fully-written *staging* directory into place as *target*.
+
+    An existing *target* is emptied and removed first (its content is
+    superseded by the staging copy, which is complete before this call),
+    then the staging directory is renamed over the name and the parent
+    directory entry fsync'd.
+    """
+    if durable:
+        for name in os.listdir(staging):
+            with open(os.path.join(staging, name), "rb") as handle:
+                fsync_file(handle)
+        fsync_dir(staging)
+    if os.path.isdir(target):
+        for name in os.listdir(target):
+            os.unlink(os.path.join(target, name))
+        os.rmdir(target)
+    os.rename(staging, target)
+    if durable:
+        fsync_dir(os.path.dirname(target) or ".")
+
+
+def remove_stale_tmp(directory: str) -> int:
+    """Delete leftover ``*.tmp*`` siblings of interrupted atomic writes.
+
+    Returns the number of entries removed.  Safe to call on every start-up:
+    a ``.tmp`` name is never the committed copy of anything.
+    """
+    if not os.path.isdir(directory):
+        return 0
+    removed = 0
+    for name in os.listdir(directory):
+        if ".tmp" not in name:
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if os.path.isdir(path):
+                for inner in os.listdir(path):
+                    os.unlink(os.path.join(path, inner))
+                os.rmdir(path)
+            else:
+                os.unlink(path)
+            removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+__all__ = [
+    "atomic_replace_dir",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "fsync_dir",
+    "fsync_file",
+    "remove_stale_tmp",
+]

@@ -24,10 +24,20 @@ Faults per task are capped at ``max_faults_per_task`` so a retry policy
 with ``max_attempts > max_faults_per_task`` always converges — the fault
 plans are adversarial, not unwinnable (an unwinnable plan just asserts that
 exhaustion raises, which has its own test).
+
+A fourth family covers **process- and storage-level faults** for the
+crash-durability suite: :func:`kill_process` (the ``kill -9`` a worker or
+the whole service must survive), :func:`pick_kill_delay` (a deterministic
+hash-picked kill time, so "killed mid-level 2 under seed 7" replays),
+:func:`truncate_file` (torn-tail WAL sweeps at every byte boundary), and
+:func:`corrupt_file` (deterministic byte flips in cache spill files that
+recovery must quarantine, not trust).
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from dataclasses import dataclass
 
@@ -193,10 +203,89 @@ def make_corrupt_batch(batch, kind: str):
     return corrupt
 
 
+# -- process- and storage-level faults ---------------------------------------
+
+
+def pick_kill_delay(
+    seed: int, identity, min_s: float, max_s: float
+) -> float:
+    """A deterministic kill time in ``[min_s, max_s]`` for *identity*.
+
+    Same hash discipline as every other injection decision: the delay is
+    a pure function of ``(seed, identity)``, so a chaos run that killed a
+    worker 0.37 s into job X replays exactly under the same seed.
+    """
+    if max_s < min_s:
+        raise ConfigError(
+            f"max_s must be >= min_s, got [{min_s}, {max_s}]"
+        )
+    return min_s + unit_hash(seed, "kill-delay", identity) * (max_s - min_s)
+
+
+def kill_process(pid: int, sig: int = signal.SIGKILL) -> bool:
+    """SIGKILL *pid*; True when the signal was delivered.
+
+    A process that already exited (``ProcessLookupError``) returns False
+    instead of raising — chaos races the victim by design.
+    """
+    try:
+        os.kill(pid, sig)
+    except (ProcessLookupError, PermissionError):
+        return False
+    return True
+
+
+def truncate_file(path: str, length: int) -> int:
+    """Truncate *path* to *length* bytes; returns the bytes removed.
+
+    Models a crash mid-append: the WAL sweep truncates the journal at
+    every byte boundary of its last record and asserts recovery treats
+    each prefix as a torn tail, never as data.
+    """
+    if length < 0:
+        raise ConfigError(f"length must be >= 0, got {length}")
+    size = os.path.getsize(path)
+    if length >= size:
+        return 0
+    with open(path, "r+b") as handle:
+        handle.truncate(length)
+    return size - length
+
+
+def corrupt_file(path: str, seed: int = 0, nflips: int = 1) -> list[int]:
+    """Deterministically flip *nflips* bytes of *path*; returns offsets.
+
+    Offsets and XOR masks are hash-picked from ``(seed, flip index)``, so
+    a corruption that slipped past recovery replays bit-for-bit.  Flips
+    on an empty file are a no-op (nothing to corrupt).
+    """
+    if nflips < 1:
+        raise ConfigError(f"nflips must be >= 1, got {nflips}")
+    size = os.path.getsize(path)
+    if size == 0:
+        return []
+    offsets: list[int] = []
+    with open(path, "r+b") as handle:
+        for index in range(nflips):
+            offset = int(unit_hash(seed, "flip-at", path, index) * size)
+            offset = min(offset, size - 1)
+            mask = 1 + int(unit_hash(seed, "flip-mask", path, index) * 255)
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ mask]))
+            offsets.append(offset)
+    return offsets
+
+
 __all__ = [
     "CORRUPTION_KINDS",
     "ChaosInjector",
     "FaultPlan",
     "InjectedFault",
+    "corrupt_file",
+    "kill_process",
     "make_corrupt_batch",
+    "pick_kill_delay",
+    "truncate_file",
 ]

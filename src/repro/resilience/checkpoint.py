@@ -38,6 +38,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import CheckpointError
+from repro.resilience.atomic import atomic_replace_dir, remove_stale_tmp
 from repro.obs.counters import CounterRegistry, LevelCounters
 
 #: Version tag stamped on (and required of) every checkpoint bundle.
@@ -208,6 +209,7 @@ def save_checkpoint(directory: str, state: CheckpointState) -> str:
     """
     bundle = os.path.join(directory, f"level-{state.level:04d}")
     staging = bundle + ".tmp"
+    remove_stale_tmp(directory)
     os.makedirs(staging, exist_ok=True)
     meta = {
         "schema": CKPT_SCHEMA,
@@ -237,14 +239,10 @@ def save_checkpoint(directory: str, state: CheckpointState) -> str:
         with open(os.path.join(staging, "meta.json"), "w") as handle:
             json.dump(meta, handle, indent=2, sort_keys=True)
         np.savez(os.path.join(staging, "arrays.npz"), **arrays)
-        if os.path.isdir(bundle):
-            # A previous bundle for this level (e.g. from the interrupted
-            # run being resumed) is replaced atomically-enough: remove then
-            # rename; the .tmp copy is complete either way.
-            for name in os.listdir(bundle):
-                os.unlink(os.path.join(bundle, name))
-            os.rmdir(bundle)
-        os.rename(staging, bundle)
+        # The staging copy is complete; committing it (fsync files, swap
+        # in over any previous bundle for this level, fsync the parent
+        # entry) is the shared atomic-directory-replace dance.
+        atomic_replace_dir(staging, bundle)
     except OSError as exc:
         raise CheckpointError(f"cannot write checkpoint bundle: {exc}") from exc
     return bundle

@@ -113,12 +113,23 @@ def _merge_entry(defaults: dict, entry: dict) -> dict:
     return merged
 
 
-def spec_from_dict(entry: dict, where: str = "job") -> JobSpec:
-    """Build one :class:`JobSpec` from a (merged) declarative entry."""
+def spec_from_dict(
+    entry: dict, where: str = "job", x0=None, errors=None
+) -> JobSpec:
+    """Build one :class:`JobSpec` from a (merged) declarative entry.
+
+    *x0*/*errors* attach explicit data arrays to an entry with no
+    ``dataset`` key — the journal-recovery path, which re-loads the arrays
+    a durable service spilled at submit time.
+    """
     if not isinstance(entry, dict):
         raise ConfigError(f"{where} must be a table/object, got {entry!r}")
     _check_keys(entry, _SPEC_KEYS | _NESTED_KEYS, where)
     kwargs = {key: entry[key] for key in _SPEC_KEYS if key in entry}
+    if x0 is not None:
+        kwargs["x0"] = x0
+    if errors is not None:
+        kwargs["errors"] = errors
 
     config_table = entry.get("config")
     if config_table is not None:
@@ -144,6 +155,55 @@ def spec_from_dict(entry: dict, where: str = "job") -> JobSpec:
         kwargs["budgets"] = BudgetConfig(**budget_table)
 
     return JobSpec(**kwargs)
+
+
+def spec_to_dict(spec: JobSpec) -> dict:
+    """The declarative table for *spec* (inverse of :func:`spec_from_dict`).
+
+    Exhaustive over every result-affecting field, so
+    ``spec_from_dict(spec_to_dict(s))`` rebuilds an equivalent spec with
+    the same job fingerprint.  Explicit ``x0``/``errors`` arrays are *not*
+    part of the table — the durable service spills them next to the job's
+    checkpoints and re-attaches them on recovery.
+    """
+    config = spec.config
+    pruning = config.pruning
+    entry: dict = {
+        "tenant": spec.tenant,
+        "kind": spec.kind,
+        "name": spec.name,
+        "seed": spec.seed,
+        "num_threads": spec.num_threads,
+        "interactive": spec.interactive,
+        "batch_size": spec.batch_size,
+        "window_size": spec.window_size,
+        "policy": spec.policy,
+        "warm_start": spec.warm_start,
+        "tick_every": spec.tick_every,
+        "config": {
+            "k": config.k,
+            "sigma": config.sigma,
+            "alpha": config.alpha,
+            "max_level": config.max_level,
+            "block_size": config.block_size,
+            "compaction": config.compaction,
+            "priority_evaluation": config.priority_evaluation,
+            "priority_chunk": config.priority_chunk,
+            "kernel_backend": config.kernel_backend,
+            "pruning": {
+                key: getattr(pruning, key) for key in sorted(_PRUNING_KEYS)
+            },
+        },
+    }
+    if spec.dataset is not None:
+        entry["dataset"] = spec.dataset
+        if spec.scale is not None:
+            entry["scale"] = spec.scale
+    if spec.budgets is not None:
+        entry["budgets"] = {
+            key: getattr(spec.budgets, key) for key in sorted(_BUDGET_KEYS)
+        }
+    return entry
 
 
 def load_job_document(document: dict, where: str = "document") -> list[JobSpec]:
@@ -209,4 +269,5 @@ __all__ = [
     "load_job_document",
     "load_job_file",
     "spec_from_dict",
+    "spec_to_dict",
 ]

@@ -1,0 +1,396 @@
+"""Crash durability for the serving layer: job journal + disk-backed cache.
+
+Two persistent structures let :class:`~repro.serve.SliceService` survive a
+``kill -9`` (or any crash/restart) without losing work:
+
+* the **write-ahead job journal** (``repro.wal/v1``) — an append-only log
+  of job-lifecycle records (``submit`` / ``dispatch`` / ``suspend`` /
+  ``complete`` / ``cancel`` / ``fail`` / ``reject``).  Every record is a
+  length- and checksum-framed JSON document appended with an fsync, so the
+  journal on disk is always a valid prefix of the logical record stream
+  plus at most one *torn tail* (a record whose write the crash
+  interrupted).  Replay (:func:`scan_wal`) tolerates the torn tail — and
+  any corruption — by quarantining the unreadable suffix with a typed
+  reason instead of aborting recovery;
+* the **durable result cache** (:class:`DurableResultCache`) — the
+  fingerprint-keyed LRU of :mod:`repro.serve.cache`, spilling every entry
+  to one atomically-written ``repro.cache/v1`` file under the service's
+  ``--state-dir``.  On construction it reloads every readable spill file
+  (in LRU order by mtime), quarantining corrupt or mismatched files, so
+  completed results from before the crash are cache hits again.
+
+Frame format (little-endian)::
+
+    +----------------+----------------+----------------------+
+    | length: uint32 | crc32: uint32  | payload: JSON bytes  |
+    +----------------+----------------+----------------------+
+
+The CRC is ``zlib.crc32`` over the payload.  A record is accepted only
+when its full frame is present, its CRC matches, its payload parses as a
+JSON object, and it carries a known ``type`` and a ``job_id`` — anything
+else ends replay at that offset with a :class:`WalQuarantine` describing
+what was wrong (``torn-header`` / ``torn-body`` / ``checksum-mismatch`` /
+``bad-json`` / ``bad-record``).  Framing is positional, so nothing after
+the first bad frame can be trusted; the quarantined suffix is preserved in
+a sidecar file for forensics and the journal is truncated back to its
+valid prefix before new appends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError, ServeError
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    fsync_dir,
+    fsync_file,
+    remove_stale_tmp,
+)
+from repro.serve.cache import (
+    CacheEntry,
+    ResultCache,
+    decode_result,
+    encode_result,
+)
+
+#: Version tag carried by every journal record.
+WAL_SCHEMA = "repro.wal/v1"
+
+#: Record vocabulary; anything else is quarantined as ``bad-record``.
+WAL_RECORD_TYPES = (
+    "submit",
+    "dispatch",
+    "suspend",
+    "complete",
+    "cancel",
+    "fail",
+    "reject",
+)
+
+_HEADER = struct.Struct("<II")
+
+#: Upper bound on one record's payload — a length field beyond this is
+#: treated as corruption, not as an instruction to allocate gigabytes.
+MAX_RECORD_BYTES = 16 << 20
+
+
+@dataclass(frozen=True)
+class WalQuarantine:
+    """One unreadable journal suffix (or cache file), with a typed reason.
+
+    ``reason`` vocabulary for journal replay: ``"torn-header"`` (fewer
+    than 8 bytes of frame header at the tail), ``"torn-body"`` (the header
+    promises more payload bytes than the file holds), ``"bad-length"``
+    (length field of an impossible size), ``"checksum-mismatch"``,
+    ``"bad-json"``, ``"bad-record"`` (JSON fine, schema wrong).  For cache
+    spill files: ``"undecodable"`` and ``"fingerprint-mismatch"``.
+    """
+
+    reason: str
+    offset: int
+    nbytes: int
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+            "detail": self.detail,
+        }
+
+
+def frame_record(record: dict) -> bytes:
+    """One record's on-disk frame: length + CRC header, JSON payload."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_wal(data: bytes) -> tuple[list[dict], int, list[WalQuarantine]]:
+    """Replay a journal byte string.
+
+    Returns ``(records, valid_length, quarantined)``: the decoded records
+    of the longest valid prefix, the byte length of that prefix, and the
+    quarantine records (at most one — replay stops at the first bad frame
+    because framing after it cannot be trusted).
+    """
+    records: list[dict] = []
+    quarantined: list[WalQuarantine] = []
+    offset = 0
+    total = len(data)
+
+    def stop(reason: str, detail: str) -> None:
+        quarantined.append(
+            WalQuarantine(
+                reason=reason,
+                offset=offset,
+                nbytes=total - offset,
+                detail=detail,
+            )
+        )
+
+    while offset < total:
+        remaining = total - offset
+        if remaining < _HEADER.size:
+            stop(
+                "torn-header",
+                f"{remaining} trailing byte(s), header needs {_HEADER.size}",
+            )
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            stop(
+                "bad-length",
+                f"length field {length} exceeds {MAX_RECORD_BYTES}",
+            )
+            break
+        body_start = offset + _HEADER.size
+        if body_start + length > total:
+            stop(
+                "torn-body",
+                f"record promises {length} payload byte(s), only "
+                f"{total - body_start} present",
+            )
+            break
+        payload = data[body_start : body_start + length]
+        if zlib.crc32(payload) != crc:
+            stop(
+                "checksum-mismatch",
+                f"stored crc {crc:#010x} != computed "
+                f"{zlib.crc32(payload):#010x}",
+            )
+            break
+        try:
+            record = json.loads(payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            stop("bad-json", str(exc))
+            break
+        if (
+            not isinstance(record, dict)
+            or record.get("schema") != WAL_SCHEMA
+            or record.get("type") not in WAL_RECORD_TYPES
+            or not isinstance(record.get("job_id"), str)
+        ):
+            stop(
+                "bad-record",
+                f"not a {WAL_SCHEMA} record with a known type and job_id",
+            )
+            break
+        records.append(record)
+        offset = body_start + length
+    return records, offset, quarantined
+
+
+class JobJournal:
+    """Append-only ``repro.wal/v1`` job journal with torn-tail recovery.
+
+    Opening the journal replays whatever is on disk: decoded records land
+    in :attr:`records`, any unreadable suffix is moved to a numbered
+    ``*.quarantined-N`` sidecar and summarized in :attr:`quarantined`, and
+    the journal file is truncated back to its valid prefix so new appends
+    extend a clean log.  Appends are serialized by an internal lock and —
+    with ``fsync=True`` (the default) — flushed to stable storage before
+    :meth:`append` returns, which is what makes the journal *write-ahead*:
+    a state transition is journaled before it is acted on.
+    """
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            data = b""
+        self.records, valid_length, self.quarantined = scan_wal(data)
+        if self.quarantined:
+            sidecar = self._sidecar_name()
+            atomic_write_bytes(sidecar, data[valid_length:], durable=fsync)
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_length)
+                if fsync:
+                    fsync_file(handle)
+        self._handle = open(path, "ab")
+        if fsync:
+            fsync_dir(directory)
+
+    def _sidecar_name(self) -> str:
+        index = 0
+        while True:
+            candidate = f"{self.path}.quarantined-{index}"
+            if not os.path.exists(candidate):
+                return candidate
+            index += 1
+
+    def append(self, record_type: str, job_id: str, **fields) -> dict:
+        """Append one record (fsync'd before return when enabled)."""
+        if record_type not in WAL_RECORD_TYPES:
+            raise ConfigError(
+                f"unknown WAL record type {record_type!r}; expected one of "
+                f"{WAL_RECORD_TYPES}"
+            )
+        record = {
+            "schema": WAL_SCHEMA,
+            "type": record_type,
+            "job_id": job_id,
+            **fields,
+        }
+        frame = frame_record(record)
+        with self._lock:
+            if self._handle.closed:
+                raise ServeError("journal is closed")
+            self._handle.write(frame)
+            if self.fsync:
+                fsync_file(self._handle)
+            else:
+                self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                if self.fsync:
+                    try:
+                        fsync_file(self._handle)
+                    except (OSError, ValueError):
+                        pass
+                self._handle.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class DurableResultCache(ResultCache):
+    """:class:`~repro.serve.cache.ResultCache` that spills to a directory.
+
+    Every cached entry is also an atomically-written
+    ``<fingerprint>.npz`` file (the exact :func:`~repro.serve.cache.
+    encode_result` bytes) under *directory*; eviction deletes the spill
+    file, so disk mirrors memory.  Construction reloads the directory:
+    readable files become cache entries in LRU order of their mtime;
+    corrupt, truncated, or misnamed files are moved to a ``quarantine/``
+    subdirectory and reported in :attr:`quarantined` with a typed reason —
+    recovery never aborts on bad cache state, it just loses that entry.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        max_bytes: int | None = None,
+        directory: str | None = None,
+        fsync: bool = True,
+    ) -> None:
+        if directory is None:
+            raise ConfigError("DurableResultCache needs a spill directory")
+        super().__init__(capacity, max_bytes)
+        self.directory = directory
+        self._fsync = fsync
+        self.quarantined: list[WalQuarantine] = []
+        os.makedirs(directory, exist_ok=True)
+        remove_stale_tmp(directory)
+        self._loading = True
+        try:
+            self._load()
+        finally:
+            self._loading = False
+
+    def _entry_path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.npz")
+
+    def _quarantine_file(self, name: str, reason: str, detail: str) -> None:
+        pen = os.path.join(self.directory, "quarantine")
+        os.makedirs(pen, exist_ok=True)
+        source = os.path.join(self.directory, name)
+        try:
+            nbytes = os.path.getsize(source)
+            os.replace(source, os.path.join(pen, name))
+        except OSError:
+            nbytes = 0
+        self.quarantined.append(
+            WalQuarantine(reason=reason, offset=0, nbytes=nbytes, detail=detail)
+        )
+
+    def _load(self) -> None:
+        names = [
+            name
+            for name in os.listdir(self.directory)
+            if name.endswith(".npz")
+        ]
+        # Oldest first: reinsertion order doubles as the recovered LRU
+        # order, so byte-bound eviction during load drops the stalest
+        # entries exactly as the pre-crash cache would have.
+        names.sort(
+            key=lambda name: os.path.getmtime(
+                os.path.join(self.directory, name)
+            )
+        )
+        for name in names:
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "rb") as handle:
+                    payload = handle.read()
+                fingerprint, data_digest, result = decode_result(payload)
+            except (OSError, ServeError) as exc:
+                self._quarantine_file(name, "undecodable", str(exc))
+                continue
+            if name != f"{fingerprint}.npz":
+                self._quarantine_file(
+                    name,
+                    "fingerprint-mismatch",
+                    f"file {name!r} holds entry for {fingerprint!r}",
+                )
+                continue
+            with self._lock:
+                self._insert_locked(
+                    CacheEntry(
+                        fingerprint=fingerprint,
+                        data_digest=data_digest,
+                        result=result,
+                        nbytes=len(payload),
+                    ),
+                    payload,
+                )
+
+    # -- durability hooks ----------------------------------------------------
+
+    def _spill_locked(self, entry: CacheEntry, payload: bytes) -> None:
+        if self._loading:
+            return
+        atomic_write_bytes(
+            self._entry_path(entry.fingerprint), payload, durable=self._fsync
+        )
+
+    def _evict_locked(self, fingerprint: str, entry: CacheEntry) -> None:
+        try:
+            os.unlink(self._entry_path(fingerprint))
+        except OSError:
+            pass
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["quarantined"] = len(self.quarantined)
+        return out
+
+
+__all__ = [
+    "DurableResultCache",
+    "JobJournal",
+    "MAX_RECORD_BYTES",
+    "WAL_RECORD_TYPES",
+    "WAL_SCHEMA",
+    "WalQuarantine",
+    "frame_record",
+    "scan_wal",
+]

@@ -95,7 +95,15 @@ class JobQueue:
         self._served: dict[str, int] = {}
         self._closed = False
 
-    def admit(self, record: JobRecord, quota: TenantQuota) -> AdmissionDecision:
+    def admit(
+        self, record: JobRecord, quota: TenantQuota, front: bool = False
+    ) -> AdmissionDecision:
+        """Queue *record* (or reject it with a typed decision).
+
+        ``front=True`` parks the job at the head of its tenant's backlog —
+        used by journal recovery to put orphaned (previously dispatched or
+        suspended) jobs back in line before anything newer.
+        """
         tenant = record.spec.tenant
         with self._cond:
             if self._closed:
@@ -110,7 +118,10 @@ class JobQueue:
                     f"tenant {tenant!r} already has {len(backlog)} queued "
                     f"job(s) (max_queued={quota.max_queued})",
                 )
-            backlog.append(record)
+            if front:
+                backlog.appendleft(record)
+            else:
+                backlog.append(record)
             running = self._running.get(tenant, 0)
             self._cond.notify()
             if running >= quota.max_running:

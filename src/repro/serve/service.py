@@ -23,20 +23,38 @@ the enumeration itself runs outside it.  Each job gets its own tracer
 (when tracing is on) touched by exactly one thread at a time — the
 submitting thread closes its spans before the job is enqueued, and a
 worker owns the tracer for the duration of an execution attempt.
+
+Durability (``state_dir=...``): every job-lifecycle transition is written
+ahead to a ``repro.wal/v1`` journal (:mod:`repro.serve.durability`) and
+every cacheable result spills to disk, so a service constructed over the
+same ``state_dir`` after a crash recovers: completed jobs are cache hits
+again, in-flight jobs re-admit at the front of their tenant's backlog and
+resume bitwise-identically from their last ``repro.ckpt/v1`` checkpoint.
+
+Process isolation (``worker_mode="process"``): the heavy ``slice_line``
+call of a find job runs in a supervised spawned worker
+(:mod:`repro.serve.workers`); a SIGKILL'd or hung worker raises
+:class:`~repro.serve.workers.WorkerCrash` into :meth:`_execute`, which
+requeues the orphaned job at the front (bounded by ``max_job_crashes``)
+instead of failing it.
 """
 
 from __future__ import annotations
 
+import io
 import os
 import re
 import tempfile
 import threading
 import time
 
+import numpy as np
+
 from repro.core.algorithm import slice_line
-from repro.exceptions import ServeError
+from repro.exceptions import ConfigError, ServeError
 from repro.obs.counters import CounterRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.resilience.atomic import atomic_write_bytes
 from repro.resilience.checkpoint import (
     fingerprint_config,
     fingerprint_digest,
@@ -44,14 +62,25 @@ from repro.resilience.checkpoint import (
     latest_checkpoint,
 )
 from repro.serve.cache import ResultCache
+from repro.serve.declarative import spec_from_dict, spec_to_dict
+from repro.serve.durability import DurableResultCache, JobJournal
 from repro.serve.queue import JobQueue, TenantQuota
 from repro.serve.scheduler import Scheduler
 from repro.serve.spec import JobRecord, JobSpec, JobState
+from repro.serve.workers import ProcessWorkerSupervisor, WorkerCrash
 
 #: Version tag of the service status document.
 SERVE_SCHEMA = "repro.serve/v1"
 
 _JOB_ID_SANITIZE = re.compile(r"[^A-Za-z0-9._-]+")
+
+#: Terminal job state -> WAL record type written by ``_finish_locked``.
+_TERMINAL_WAL = {
+    JobState.COMPLETED: "complete",
+    JobState.FAILED: "fail",
+    JobState.CANCELLED: "cancel",
+    JobState.REJECTED: "reject",
+}
 
 
 class SliceService:
@@ -79,6 +108,24 @@ class SliceService:
     start:
         Start the worker pool immediately (pass ``False`` to stage
         submissions first — used by tests to make races deterministic).
+    state_dir:
+        Root of the durable state layout (``wal/journal.wal``, ``cache/``,
+        ``jobs/``, ``workers/``).  When set, the service journals every
+        job transition, spills cache entries to disk, and **recovers** the
+        pre-crash job table from whatever the directory holds.
+    worker_mode:
+        ``"thread"`` (default: the in-process :class:`Scheduler`) or
+        ``"process"`` (a :class:`ProcessWorkerSupervisor` running find
+        jobs in supervised spawned workers).
+    cache_bytes:
+        Optional byte bound on the result cache (size-aware eviction of
+        the serialized entries, on top of the entry-count capacity).
+    wal_fsync:
+        fsync journal appends and cache spills (disable only in tests
+        that don't measure crash safety).
+    max_job_crashes:
+        Worker crashes one job survives before it is failed with reason
+        ``"worker-crash"``.
     """
 
     def __init__(
@@ -91,21 +138,67 @@ class SliceService:
         trace: bool = False,
         preemption: bool = True,
         start: bool = True,
+        state_dir: str | None = None,
+        worker_mode: str = "thread",
+        cache_bytes: int | None = None,
+        wal_fsync: bool = True,
+        heartbeat_timeout_s: float = 30.0,
+        restart_policy=None,
+        max_job_crashes: int = 3,
     ) -> None:
+        if worker_mode not in ("thread", "process"):
+            raise ConfigError(
+                f'worker_mode must be "thread" or "process", got '
+                f"{worker_mode!r}"
+            )
         self._lock = threading.RLock()
         self.quotas = dict(quotas or {})
         self.default_quota = default_quota or TenantQuota()
         self.trace = trace
+        self.state_dir = state_dir
+        self.worker_mode = worker_mode
+        self._max_job_crashes = max_job_crashes
         self.registry = CounterRegistry()
         self.queue = JobQueue(self.quota_for)
-        self.cache = ResultCache(cache_entries)
-        self.scheduler = Scheduler(
-            self.queue, self._execute, num_workers, preemption
-        )
+        self.journal: JobJournal | None = None
+        #: jobs the journal held but recovery could not rebuild
+        self.recovery_errors: list[dict] = []
+        self._recovering = False
+        if state_dir is not None:
+            os.makedirs(state_dir, exist_ok=True)
+            if workdir is None:
+                workdir = os.path.join(state_dir, "jobs")
+            self.cache = DurableResultCache(
+                cache_entries,
+                cache_bytes,
+                directory=os.path.join(state_dir, "cache"),
+                fsync=wal_fsync,
+            )
+        else:
+            self.cache = ResultCache(cache_entries, cache_bytes)
         if workdir is None:
             workdir = tempfile.mkdtemp(prefix="repro-serve-")
         self.workdir = workdir
         os.makedirs(self.workdir, exist_ok=True)
+        if worker_mode == "process":
+            self.scheduler = ProcessWorkerSupervisor(
+                self.queue,
+                self._execute,
+                num_workers,
+                preemption,
+                run_dir=(
+                    os.path.join(state_dir, "workers")
+                    if state_dir is not None
+                    else None
+                ),
+                heartbeat_timeout_s=heartbeat_timeout_s,
+                restart_policy=restart_policy,
+                on_event=self.registry.event,
+            )
+        else:
+            self.scheduler = Scheduler(
+                self.queue, self._execute, num_workers, preemption
+            )
         self.jobs: dict[str, JobRecord] = {}
         self._order: list[str] = []
         #: fingerprint -> origin record currently pending/running/suspended
@@ -114,6 +207,14 @@ class SliceService:
         self._waiters: dict[str, list[JobRecord]] = {}
         #: fingerprint -> submission count (disambiguates job ids)
         self._submissions: dict[str, int] = {}
+        if state_dir is not None:
+            self.journal = JobJournal(
+                os.path.join(state_dir, "wal", "journal.wal"),
+                fsync=wal_fsync,
+            )
+            with self._lock:
+                self._recover_locked()
+                self._refresh_gauges_locked()
         if start:
             self.start()
 
@@ -124,6 +225,8 @@ class SliceService:
 
     def shutdown(self, wait: bool = True) -> None:
         self.scheduler.shutdown(wait=wait)
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "SliceService":
         self.start()
@@ -179,6 +282,7 @@ class SliceService:
                 record.effective_budgets = quota.budgets.merged(spec.budgets)
             else:
                 record.effective_budgets = spec.budgets
+            self._journal_submit_locked(record, serial)
 
             if spec.kind == "find":
                 cached = self.cache.get(fingerprint)
@@ -272,7 +376,7 @@ class SliceService:
 
     def stats(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "jobs": len(self.jobs),
                 "queue_depth": self.queue.depth(),
                 "running": self.queue.running_count(),
@@ -280,11 +384,18 @@ class SliceService:
                 "events": dict(self.registry.events),
                 "gauges": dict(self.registry.gauges),
             }
+            durability = self._durability_stats()
+            if durability is not None:
+                out["durability"] = durability
+            worker_stats = getattr(self.scheduler, "worker_stats", None)
+            if worker_stats is not None:
+                out["workers"] = worker_stats()
+            return out
 
     def status_document(self) -> dict:
         """The full ``repro.serve/v1`` status JSON (see EXPERIMENTS.md)."""
         with self._lock:
-            return {
+            document = {
                 "schema": SERVE_SCHEMA,
                 "generated_at": time.time(),
                 "jobs": [
@@ -301,6 +412,13 @@ class SliceService:
                 "events": dict(self.registry.events),
                 "gauges": dict(self.registry.gauges),
             }
+            durability = self._durability_stats()
+            if durability is not None:
+                document["durability"] = durability
+            worker_stats = getattr(self.scheduler, "worker_stats", None)
+            if worker_stats is not None:
+                document["workers"] = worker_stats()
+            return document
 
     # -- control -------------------------------------------------------------
 
@@ -371,12 +489,16 @@ class SliceService:
             if resuming:
                 record.resumes += 1
                 self.registry.event("serve.resumes")
+            self._journal_locked(record, "dispatch", resuming=resuming)
             self._refresh_gauges_locked()
         try:
             if record.spec.kind == "monitor":
                 result = self._run_monitor(record)
             else:
                 result = self._run_find(record)
+        except WorkerCrash as exc:
+            self._handle_worker_crash(record, exc)
+            return
         except Exception as exc:  # noqa: BLE001 — a job must never kill a worker
             with self._lock:
                 self.queue.release(record)
@@ -406,6 +528,9 @@ class SliceService:
                     record.preemptions += 1
                     record.suspend.clear()
                     self.registry.event("serve.preemptions")
+                    self._journal_locked(
+                        record, "suspend", preemptions=record.preemptions
+                    )
                     # Front of the backlog: the suspended job resumes
                     # before the tenant's newer submissions.
                     self.queue.requeue(record)
@@ -451,6 +576,26 @@ class SliceService:
             resumed=resume_from is not None,
             warm_seeds=len(record.warm_seeds),
         ):
+            runner = getattr(self.scheduler, "run_find", None)
+            if runner is not None:
+                # Process mode: the enumeration crosses into the worker
+                # child.  The per-job tracer stays in the parent (only
+                # serve.* spans), the suspend hook is forwarded over the
+                # control queue, and checkpoints land on the shared
+                # filesystem either way.
+                return runner(
+                    record,
+                    dict(
+                        x0=record.x0,
+                        errors=record.errors,
+                        config=spec.config,
+                        num_threads=spec.num_threads,
+                        seed_slices=record.warm_seeds or None,
+                        budgets=record.effective_budgets,
+                        checkpoint_dir=checkpoint_dir,
+                        resume_from=resume_from,
+                    ),
+                )
             return slice_line(
                 record.x0,
                 record.errors,
@@ -530,6 +675,337 @@ class SliceService:
             record.cache_hit = True
         record.finished_at = time.time()
         record.done.set()
+        wal_type = _TERMINAL_WAL.get(state)
+        if wal_type is not None:
+            self._journal_locked(
+                record,
+                wal_type,
+                reason=reason,
+                cache_hit=record.cache_hit,
+                error=record.error,
+            )
+
+    # -- durability (journal + recovery) -------------------------------------
+
+    def _journal_locked(
+        self, record: JobRecord, record_type: str, **fields
+    ) -> None:
+        """Append one WAL record (no-op without a journal or during replay).
+
+        Replayed terminal transitions must not be re-journaled — the
+        ``_recovering`` guard covers :meth:`_finish_locked` calls made
+        while rebuilding the job table from the journal itself.
+        """
+        if self.journal is None or self._recovering:
+            return
+        try:
+            self.journal.append(record_type, record.job_id, **fields)
+        except (ServeError, OSError):
+            # A closed journal during shutdown must not take down the
+            # worker finishing its last job.
+            pass
+
+    def _journal_submit_locked(self, record: JobRecord, serial: int) -> None:
+        """Write-ahead record of one submission (spec table + identity).
+
+        Explicit-array specs spill their ``(x0, errors)`` to
+        ``jobs/<id>/inputs.npz`` *before* the submit record references
+        them, so a crash between the two leaves an unreferenced spill
+        file, never a dangling reference.
+        """
+        if self.journal is None or self._recovering:
+            return
+        spec = record.spec
+        has_inputs = spec.dataset is None
+        if has_inputs:
+            buffer = io.BytesIO()
+            np.savez(buffer, x0=record.x0, errors=record.errors)
+            atomic_write_bytes(
+                os.path.join(self._checkpoint_dir(record), "inputs.npz"),
+                buffer.getvalue(),
+                durable=self.journal.fsync,
+            )
+        self._journal_locked(
+            record,
+            "submit",
+            fingerprint=record.fingerprint,
+            data_digest=record.data_digest,
+            serial=serial,
+            spec=spec_to_dict(spec),
+            has_inputs=has_inputs,
+            submitted_at=record.submitted_at,
+        )
+
+    def _handle_worker_crash(self, record: JobRecord, exc: WorkerCrash) -> None:
+        """A worker process died under *record*: requeue, don't fail.
+
+        The job goes back to the **front** of its tenant's backlog and —
+        when a ``repro.ckpt/v1`` checkpoint exists — resumes from its
+        last level boundary, so the eventual result is bitwise-identical
+        to a fault-free run.  ``max_job_crashes`` bounds the retries: a
+        job that reliably kills workers (a poison pill) is failed with
+        the typed reason ``"worker-crash"``.
+        """
+        with self._lock:
+            record.crashes += 1
+            self.registry.event("serve.orphan_requeues")
+            record.has_checkpoint = (
+                latest_checkpoint(self._checkpoint_dir(record)) is not None
+            )
+            record.suspend.clear()
+            if record.cancel_requested:
+                self.queue.release(record)
+                self._release_inflight_locked(record, promote=True)
+                self._finish_locked(
+                    record, JobState.CANCELLED, reason="user-cancel"
+                )
+                self.registry.event("serve.cancellations")
+            elif record.crashes > self._max_job_crashes:
+                self.queue.release(record)
+                self._release_inflight_locked(record, promote=True)
+                self._finish_locked(
+                    record,
+                    JobState.FAILED,
+                    reason="worker-crash",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self.registry.event("serve.failures")
+            else:
+                record.state = (
+                    JobState.SUSPENDED
+                    if record.has_checkpoint
+                    else JobState.PENDING
+                )
+                self._journal_locked(
+                    record, "suspend", crash=exc.kind, crashes=record.crashes
+                )
+                self.queue.requeue(record)
+            self._refresh_gauges_locked()
+
+    def _recover_locked(self) -> None:
+        """Rebuild the job table from the journal (constructor only).
+
+        Last record wins per job: a terminal record restores the terminal
+        state (completed find jobs re-attach their result from the
+        durable cache); a job whose last record is ``submit`` re-admits
+        in submission order; one that reached ``dispatch``/``suspend``
+        is an **orphan** — it re-admits at the front of its tenant's
+        backlog and resumes from its checkpoint when one exists.  A job
+        the journal names but recovery cannot rebuild (its dataset or
+        inputs changed or vanished) lands in :attr:`recovery_errors`
+        instead of aborting recovery.
+        """
+        by_job: dict[str, list[dict]] = {}
+        for entry in self.journal.records:
+            by_job.setdefault(entry["job_id"], []).append(entry)
+        orphans: list[JobRecord] = []
+        backlog: list[JobRecord] = []
+        recovered = 0
+        self._recovering = True
+        try:
+            for job_id, entries in by_job.items():
+                submit = next(
+                    (e for e in entries if e["type"] == "submit"), None
+                )
+                if submit is None:
+                    continue
+                try:
+                    record = self._rebuild_record(job_id, submit)
+                except Exception as exc:  # noqa: BLE001 — quarantine, don't abort
+                    self.recovery_errors.append(
+                        {"job_id": job_id, "error": str(exc)}
+                    )
+                    self.registry.event("serve.recovery_quarantined")
+                    continue
+                record.recovered = True
+                self.jobs[job_id] = record
+                self._order.append(job_id)
+                serial = int(submit.get("serial", 0))
+                self._submissions[record.fingerprint] = max(
+                    self._submissions.get(record.fingerprint, 0), serial + 1
+                )
+                recovered += 1
+                last = entries[-1]
+                if last["type"] in (
+                    "complete",
+                    "cancel",
+                    "fail",
+                    "reject",
+                ):
+                    self._restore_terminal_locked(record, last)
+                    continue
+                record.has_checkpoint = (
+                    latest_checkpoint(self._checkpoint_dir(record))
+                    is not None
+                )
+                if record.has_checkpoint:
+                    record.state = JobState.SUSPENDED
+                was_dispatched = any(
+                    e["type"] in ("dispatch", "suspend") for e in entries
+                )
+                (orphans if was_dispatched else backlog).append(record)
+        finally:
+            self._recovering = False
+        # Re-admission runs outside the replay guard so genuinely *new*
+        # transitions (a recovered pending job that is now a cache hit,
+        # a rejection) are journaled like any other.
+        for record in reversed(orphans):
+            # reversed + front=True preserves the original relative order
+            # at the head of each tenant's backlog.
+            self._readmit_recovered_locked(record, front=True)
+        for record in backlog:
+            self._readmit_recovered_locked(record, front=False)
+        if recovered:
+            self.registry.event("serve.recovered_jobs", recovered)
+        if orphans:
+            self.registry.event("serve.recovered_orphans", len(orphans))
+        if self.journal.quarantined:
+            self.registry.event(
+                "serve.wal_quarantined", len(self.journal.quarantined)
+            )
+
+    def _rebuild_record(self, job_id: str, submit: dict) -> JobRecord:
+        """One :class:`JobRecord` from a journaled ``submit`` record."""
+        table = submit.get("spec")
+        if not isinstance(table, dict):
+            raise ServeError(
+                f"journal submit record for {job_id!r} carries no spec table"
+            )
+        if submit.get("has_inputs"):
+            safe = _JOB_ID_SANITIZE.sub("_", job_id)
+            inputs_path = os.path.join(self.workdir, safe, "inputs.npz")
+            with np.load(inputs_path) as bundle:
+                x0 = np.array(bundle["x0"])
+                errors = np.array(bundle["errors"])
+            spec = spec_from_dict(
+                table, where=f"journal:{job_id}", x0=x0, errors=errors
+            )
+        else:
+            spec = spec_from_dict(table, where=f"journal:{job_id}")
+        x0, errors = spec.resolve_data()
+        data_fp = fingerprint_inputs(x0, errors)
+        config_fp = fingerprint_config(spec.config)
+        data_digest = fingerprint_digest(data_fp)
+        if spec.kind == "monitor":
+            fingerprint = fingerprint_digest(
+                data_fp, config_fp, spec.monitor_fingerprint()
+            )
+        else:
+            fingerprint = fingerprint_digest(data_fp, config_fp)
+        journaled = submit.get("fingerprint")
+        if journaled is not None and journaled != fingerprint:
+            raise ServeError(
+                f"job {job_id!r} fingerprint mismatch on recovery: the "
+                "data or config behind the journaled spec changed"
+            )
+        record = JobRecord(
+            job_id=job_id,
+            spec=spec,
+            fingerprint=fingerprint,
+            data_digest=data_digest,
+            submitted_at=float(submit.get("submitted_at") or time.time()),
+            tracer=Tracer() if self.trace else NULL_TRACER,
+            x0=x0,
+            errors=errors,
+        )
+        quota = self.quota_for(spec.tenant)
+        if quota.budgets is not None:
+            record.effective_budgets = quota.budgets.merged(spec.budgets)
+        else:
+            record.effective_budgets = spec.budgets
+        return record
+
+    def _restore_terminal_locked(self, record: JobRecord, last: dict) -> None:
+        """Replay one journaled terminal transition onto *record*."""
+        reason = last.get("reason") or "recovered"
+        if last["type"] == "complete":
+            result = (
+                self.cache.peek(record.fingerprint)
+                if record.spec.kind == "find"
+                else None
+            )
+            # Monitor results are not durable (their value is the live
+            # monitor object); the completed state survives, the result
+            # does not — documented in EXPERIMENTS.md.
+            self._finish_locked(
+                record,
+                JobState.COMPLETED,
+                result=result,
+                cache_hit=bool(last.get("cache_hit")),
+                reason="recovered",
+            )
+        elif last["type"] == "cancel":
+            self._finish_locked(record, JobState.CANCELLED, reason=reason)
+        elif last["type"] == "fail":
+            self._finish_locked(
+                record,
+                JobState.FAILED,
+                reason=reason,
+                error=last.get("error"),
+            )
+        else:
+            self._finish_locked(record, JobState.REJECTED, reason=reason)
+
+    def _readmit_recovered_locked(
+        self, record: JobRecord, front: bool
+    ) -> None:
+        """Put one recovered non-terminal job back in line.
+
+        A find job whose fingerprint is now in the durable cache (its
+        origin completed before the crash, e.g. a coalesced duplicate
+        whose settlement record was lost) completes as a cache hit with
+        zero enumeration.  Recovered jobs take no warm seeds — an orphan
+        must resume from its checkpoint exactly as the pre-crash run
+        would have continued.
+        """
+        spec = record.spec
+        quota = self.quota_for(spec.tenant)
+        if spec.kind == "find":
+            cached = self.cache.get(record.fingerprint)
+            if cached is not None:
+                self._finish_locked(
+                    record,
+                    JobState.COMPLETED,
+                    result=cached,
+                    cache_hit=True,
+                )
+                self.registry.event("serve.cache_hits")
+                return
+            self.registry.event("serve.cache_misses")
+            origin = self._inflight.get(record.fingerprint)
+            if origin is not None:
+                record.coalesced = True
+                self._waiters.setdefault(record.fingerprint, []).append(
+                    record
+                )
+                return
+        decision = self.queue.admit(record, quota, front=front)
+        record.admission = decision
+        if not decision.admitted:
+            self._finish_locked(
+                record, JobState.REJECTED, reason=decision.reason
+            )
+            self.registry.event("serve.rejections")
+            return
+        if spec.kind == "find":
+            self._inflight[record.fingerprint] = record
+
+    def _durability_stats(self) -> dict | None:
+        if self.state_dir is None:
+            return None
+        out: dict = {
+            "state_dir": self.state_dir,
+            "wal_replayed": len(self.journal.records),
+            "wal_quarantined": [
+                q.to_dict() for q in self.journal.quarantined
+            ],
+            "cache_quarantined": [
+                q.to_dict()
+                for q in getattr(self.cache, "quarantined", ())
+            ],
+            "recovery_errors": list(self.recovery_errors),
+        }
+        return out
 
     def _settle_waiters_locked(self, fingerprint: str, result) -> None:
         for waiter in self._waiters.pop(fingerprint, []):
@@ -584,6 +1060,7 @@ class SliceService:
         self.registry.gauge("serve.running", self.queue.running_count())
         cache = self.cache.stats()
         self.registry.gauge("serve.cache_entries", cache["entries"])
+        self.registry.gauge("serve.cache_bytes", cache["bytes"])
         self.registry.gauge("serve.cache_hits", cache["hits"])
         self.registry.gauge("serve.cache_misses", cache["misses"])
 

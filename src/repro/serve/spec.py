@@ -165,6 +165,10 @@ class JobRecord:
     preemptions: int = 0
     #: times the job resumed from its checkpoint
     resumes: int = 0
+    #: times a worker process died (or went silent) while running the job
+    crashes: int = 0
+    #: the record was rebuilt from the job journal after a restart
+    recovered: bool = False
     effective_budgets: BudgetConfig | None = None
     admission: "Any | None" = None
     #: duplicate submission riding on an identical in-flight job
@@ -214,6 +218,8 @@ class JobRecord:
             "warm_seeds": len(self.warm_seeds),
             "preemptions": self.preemptions,
             "resumes": self.resumes,
+            "crashes": self.crashes,
+            "recovered": self.recovered,
             "coalesced": self.coalesced,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,

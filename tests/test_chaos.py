@@ -11,13 +11,20 @@ must be quarantined with the right reason while the monitor's results match
 an oracle monitor that never saw them.
 """
 
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import FeatureSpace, SliceLineConfig
+from repro.core import FeatureSpace, SliceLineConfig, slice_line
 from repro.datasets import replay_batches
 from repro.distributed import DistributedPForExecutor
 from repro.distributed.accumulate import partitioned_slice_stats
@@ -31,7 +38,15 @@ from repro.resilience import (
     map_with_retries,
     unit_hash,
 )
-from repro.resilience.chaos import CORRUPTION_KINDS, make_corrupt_batch
+from repro.resilience.chaos import (
+    CORRUPTION_KINDS,
+    corrupt_file,
+    kill_process,
+    make_corrupt_batch,
+    pick_kill_delay,
+    truncate_file,
+)
+from repro.serve import JobSpec, SliceService, frame_record, scan_wal
 from repro.streaming import SliceMonitor
 from tests.test_resilience import dyadic_problem
 
@@ -407,3 +422,182 @@ class TestStreamingChaos:
         assert np.array_equal(
             tick.result.top_slices_encoded, ref.result.top_slices_encoded
         )
+
+
+# ---------------------------------------------------------------------------
+# process- and storage-level chaos (crash durability)
+
+
+class TestProcessChaos:
+    """Kill -9, torn journals, and corrupt spill files vs the oracle run.
+
+    Same exactness bar as the other chaos families: whatever the fault,
+    the recovered service must end with results bitwise identical to a
+    fault-free run — or a typed quarantine, never silent corruption.
+    """
+
+    def test_pick_kill_delay_deterministic_and_bounded(self):
+        a = pick_kill_delay(7, ("job", 3), 0.1, 0.9)
+        b = pick_kill_delay(7, ("job", 3), 0.1, 0.9)
+        assert a == b
+        assert 0.1 <= a <= 0.9
+        assert pick_kill_delay(8, ("job", 3), 0.1, 0.9) != a
+        with pytest.raises(ConfigError):
+            pick_kill_delay(7, "x", 1.0, 0.5)
+
+    def test_kill_process_handles_dead_pid(self):
+        victim = subprocess.Popen([sys.executable, "-c", "pass"])
+        victim.wait()
+        assert kill_process(victim.pid) is False
+
+    def test_truncate_file(self, tmp_path):
+        path = str(tmp_path / "f.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"0123456789")
+        assert truncate_file(path, 4) == 6
+        assert open(path, "rb").read() == b"0123"
+        assert truncate_file(path, 100) == 0
+        with pytest.raises(ConfigError):
+            truncate_file(path, -1)
+
+    def test_corrupt_file_deterministic(self, tmp_path):
+        path = str(tmp_path / "f.bin")
+        original = bytes(range(64))
+        with open(path, "wb") as handle:
+            handle.write(original)
+        offsets = corrupt_file(path, seed=3, nflips=4)
+        mangled = open(path, "rb").read()
+        assert mangled != original
+        assert all(0 <= off < 64 for off in offsets)
+        # Replaying the same seed over the mangled bytes undoes the XOR.
+        assert corrupt_file(path, seed=3, nflips=4) == offsets
+        assert open(path, "rb").read() == original
+
+    def test_wal_truncation_boundaries_recover_bitwise(
+        self, tmp_path, planted_dataset
+    ):
+        """Service recovery over strategically torn journals stays exact."""
+        x0, errors, _ = planted_dataset
+        state = str(tmp_path / "state")
+        with SliceService(state_dir=state, num_workers=1) as service:
+            record = service.submit(JobSpec(x0=x0, errors=errors))
+            baseline = service.result(record.job_id, timeout=60)
+        wal = os.path.join(state, "wal", "journal.wal")
+        data = open(wal, "rb").read()
+        records, _, quarantined = scan_wal(data)
+        assert not quarantined
+        last_frame = len(frame_record(records[-1]))
+        # Mid-header, mid-body, one byte short, and clean-boundary cuts.
+        cuts = sorted(
+            {
+                len(data) - last_frame + 3,
+                len(data) - last_frame // 2,
+                len(data) - 1,
+                len(data) - last_frame,
+            }
+        )
+        for cut in cuts:
+            trial = str(tmp_path / f"trial-{cut}")
+            shutil.copytree(state, trial)
+            truncate_file(os.path.join(trial, "wal", "journal.wal"), cut)
+            recovered = SliceService(state_dir=trial, num_workers=1)
+            try:
+                assert recovered.wait(timeout=60)
+                result = recovered.result(record.job_id, timeout=60)
+            finally:
+                recovered.shutdown()
+            assert [s.predicates for s in result.top_slices] == [
+                s.predicates for s in baseline.top_slices
+            ]
+            assert [s.score for s in result.top_slices] == [
+                s.score for s in baseline.top_slices
+            ]
+
+    def test_cache_spill_deletion_forces_rerun(
+        self, tmp_path, planted_dataset
+    ):
+        x0, errors, _ = planted_dataset
+        state = str(tmp_path / "state")
+        with SliceService(state_dir=state, num_workers=1) as service:
+            record = service.submit(JobSpec(x0=x0, errors=errors))
+            baseline = service.result(record.job_id, timeout=60)
+        os.unlink(os.path.join(state, "cache", f"{record.fingerprint}.npz"))
+        recovered = SliceService(state_dir=state, num_workers=1)
+        try:
+            # The completed job lost its result, but a fresh submission
+            # re-runs and lands on the identical answer.
+            resubmit = recovered.submit(JobSpec(x0=x0, errors=errors))
+            result = recovered.result(resubmit.job_id, timeout=60)
+        finally:
+            recovered.shutdown()
+        assert [s.score for s in result.top_slices] == [
+            s.score for s in baseline.top_slices
+        ]
+
+    def test_service_sigkill_mid_run_recovers_bitwise(self, tmp_path):
+        """kill -9 the whole service process; a restart finishes the job.
+
+        The driver subprocess journals the submission and dispatch, then
+        dies mid-enumeration.  Recovery re-admits the orphan at the front
+        and the finished result matches a fault-free in-process run.
+        """
+        state = str(tmp_path / "state")
+        driver = tmp_path / "driver.py"
+        driver.write_text(
+            "import sys\n"
+            "import numpy as np\n"
+            "from repro.serve import SliceService, JobSpec\n"
+            "rng = np.random.default_rng(777)\n"
+            "x0 = rng.integers(1, 6, size=(20000, 20))\n"
+            "errors = (rng.random(20000) < 0.3).astype(float)\n"
+            "service = SliceService(state_dir=sys.argv[1], num_workers=1)\n"
+            "record = service.submit(JobSpec(x0=x0, errors=errors))\n"
+            "print('submitted', flush=True)\n"
+            "service.result(record.job_id, timeout=300)\n"
+        )
+        process = subprocess.Popen(
+            [sys.executable, str(driver), state],
+            stdout=subprocess.PIPE,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        try:
+            wal = os.path.join(state, "wal", "journal.wal")
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                if os.path.exists(wal):
+                    records, _, _ = scan_wal(open(wal, "rb").read())
+                    if any(r["type"] == "dispatch" for r in records):
+                        break
+                time.sleep(0.05)
+            else:
+                pytest.fail("driver never dispatched the job")
+            time.sleep(0.4)
+            assert kill_process(process.pid)
+        finally:
+            process.wait(timeout=30)
+            if process.stdout is not None:
+                process.stdout.close()
+        assert process.returncode == -signal.SIGKILL
+
+        rng = np.random.default_rng(777)
+        x0 = rng.integers(1, 6, size=(20000, 20))
+        errors = (rng.random(20000) < 0.3).astype(float)
+        recovered = SliceService(state_dir=state, num_workers=1)
+        try:
+            orphans = [
+                record
+                for record in recovered.jobs.values()
+                if record.recovered
+            ]
+            assert len(orphans) == 1
+            result = recovered.result(orphans[0].job_id, timeout=120)
+        finally:
+            recovered.shutdown()
+        baseline = slice_line(x0, errors)
+        assert [s.predicates for s in result.top_slices] == [
+            s.predicates for s in baseline.top_slices
+        ]
+        assert [s.score for s in result.top_slices] == [
+            s.score for s in baseline.top_slices
+        ]
+        assert np.array_equal(result.top_stats, baseline.top_stats)

@@ -109,12 +109,22 @@ def test_scores_of_topk_respect_definition(seed):
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(0, 5_000), k_small=st.integers(1, 3))
 def test_topk_nesting(seed, k_small):
-    """The top-k result is a prefix of the top-(k+j) result."""
+    """The top-k scores are a prefix of the top-(k+j) scores.
+
+    Predicate-level nesting is only guaranteed where scores are untied:
+    score pruning is *strict* (a candidate must beat the current k-th
+    score to be worth evaluating once the top-K is full), so a small-k
+    run may legitimately settle on a different — equally optimal —
+    member of a score-tie class than a larger-k run that evaluated more
+    of the class (e.g. deeper-level slices with the identical score).
+    """
     x0, errors = _random_problem(seed)
     cfg_small = SliceLineConfig(k=k_small, sigma=3)
     cfg_big = SliceLineConfig(k=k_small + 3, sigma=3)
     small = slice_line(x0, errors, cfg_small).top_slices
     big = slice_line(x0, errors, cfg_big).top_slices
-    assert [s.predicates for s in small] == [
-        s.predicates for s in big[: len(small)]
-    ]
+    assert [s.score for s in small] == [s.score for s in big[: len(small)]]
+    big_scores = [s.score for s in big]
+    for rank, s in enumerate(small):
+        if big_scores.count(s.score) == 1:
+            assert s.predicates == big[rank].predicates
