@@ -196,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
         "model (results are identical; this only changes kernel speed)",
     )
     parser.add_argument(
+        "--pair-parallelism", type=int, default=0,
+        help="worker width of the pair-candidate pipeline; 0 follows the "
+        "thread count, 1 forces serial (results are identical; this only "
+        "changes enumeration speed)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="print per-level pruning counters and the timed span tree",
     )
@@ -295,6 +301,12 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         "model (results are identical; this only changes kernel speed)",
     )
     parser.add_argument(
+        "--pair-parallelism", type=int, default=0,
+        help="worker width of the pair-candidate pipeline; 0 follows the "
+        "thread count, 1 forces serial (results are identical; this only "
+        "changes enumeration speed)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="print each tick's span tree (monitor.tick and nested runs)",
     )
@@ -333,6 +345,7 @@ def monitor_main(argv: list[str]) -> int:
             k=args.k, sigma=args.sigma, alpha=args.alpha,
             max_level=args.max_level, compaction=not args.no_compaction,
             kernel_backend=args.kernel_backend,
+            pair_parallelism=args.pair_parallelism,
         )
         monitor = SliceMonitor(
             config=config,
@@ -603,6 +616,7 @@ def main(argv: list[str] | None = None) -> int:
             k=args.k, sigma=args.sigma, alpha=args.alpha,
             max_level=args.max_level, compaction=not args.no_compaction,
             kernel_backend=args.kernel_backend,
+            pair_parallelism=args.pair_parallelism,
             trace=("memory" if args.trace_memory else True) if tracing else None,
             budgets=_budgets_from_args(args),
             checkpoint_dir=args.checkpoint_dir,

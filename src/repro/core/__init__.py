@@ -19,7 +19,12 @@ from repro.core.evaluate import (
     indicator_equal,
 )
 from repro.core.onehot import FeatureSpace, validate_encoded_matrix
-from repro.core.pairs import get_pair_candidates
+from repro.core.pairs import (
+    PairJoinPlan,
+    choose_pair_plan,
+    get_pair_candidates,
+    reference_pair_candidates,
+)
 from repro.core.scoring import (
     score,
     score_at_size,
@@ -56,7 +61,10 @@ __all__ = [
     "indicator_equal",
     "FeatureSpace",
     "validate_encoded_matrix",
+    "PairJoinPlan",
+    "choose_pair_plan",
     "get_pair_candidates",
+    "reference_pair_candidates",
     "score",
     "score_at_size",
     "score_single",

@@ -322,6 +322,8 @@ def slice_line(
                         level_stats=current,
                         tracer=tracer,
                         return_parents=True,
+                        workspace=workspace,
+                        pair_parallelism=cfg.pair_parallelism,
                     )
                 if tracker is not None and slices.shape[0] > 0:
                     trip = tracker.check_candidates(level, int(slices.shape[0]))
@@ -887,6 +889,7 @@ class SliceLine:
         budgets: BudgetConfig | None = None,
         checkpoint_dir: str | None = None,
         kernel_backend: str = "auto",
+        pair_parallelism: int = 0,
     ) -> None:
         self.k = k
         self.sigma = sigma
@@ -896,6 +899,7 @@ class SliceLine:
         self.pruning = pruning or PruningConfig()
         self.compaction = compaction
         self.kernel_backend = kernel_backend
+        self.pair_parallelism = pair_parallelism
         self.num_threads = num_threads
         self.trace = trace
         self.budgets = budgets
@@ -913,6 +917,7 @@ class SliceLine:
             pruning=self.pruning,
             compaction=self.compaction,
             kernel_backend=self.kernel_backend,
+            pair_parallelism=self.pair_parallelism,
         )
 
     def fit(

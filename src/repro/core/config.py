@@ -118,6 +118,15 @@ class SliceLineConfig:
     #: its preconditions — a backend whose preconditions fail falls back).
     #: All choices are bitwise identical; this only changes kernel speed.
     kernel_backend: str = "auto"
+    #: worker width of the parallel pair-candidate pipeline (see
+    #: :func:`repro.core.pairs.choose_pair_plan`): ``0`` follows
+    #: ``num_threads``, ``1`` forces serial execution, ``N > 1`` requests
+    #: ``N`` workers for the join's chunk tasks (the per-level cost model
+    #: may still run small levels serially).  Like ``kernel_backend`` this
+    #: never affects results — candidates, counters, and the top-K are
+    #: bitwise identical at every width — so it is excluded from the
+    #: checkpoint fingerprint.
+    pair_parallelism: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -138,6 +147,11 @@ class SliceLineConfig:
             raise ConfigError(
                 "kernel_backend must be one of 'auto', 'sparse', 'bitset', "
                 f"'incremental', got {self.kernel_backend!r}"
+            )
+        if self.pair_parallelism < 0:
+            raise ConfigError(
+                "pair_parallelism must be >= 0 (0 follows num_threads), "
+                f"got {self.pair_parallelism}"
             )
 
     def resolve_sigma(self, num_rows: int) -> int:

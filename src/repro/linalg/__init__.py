@@ -25,6 +25,7 @@ from repro.linalg.ops import (
     row_sums,
     selection_matrix,
     upper_tri_pairs,
+    upper_tri_pairs_in_range,
 )
 from repro.linalg.sparse import (
     as_csr,
@@ -34,7 +35,11 @@ from repro.linalg.sparse import (
     to_dense,
     vstack_rows,
 )
-from repro.linalg.blocks import BlockedMatrix, row_partitions
+from repro.linalg.blocks import (
+    BlockedMatrix,
+    cell_bounded_partitions,
+    row_partitions,
+)
 from repro.linalg.kernels import (
     BACKENDS,
     BitsetTable,
@@ -74,6 +79,7 @@ __all__ = [
     "row_sums",
     "selection_matrix",
     "upper_tri_pairs",
+    "upper_tri_pairs_in_range",
     "as_csr",
     "density",
     "ensure_vector",
@@ -81,6 +87,7 @@ __all__ = [
     "to_dense",
     "vstack_rows",
     "BlockedMatrix",
+    "cell_bounded_partitions",
     "row_partitions",
     "KernelWorkspace",
     "resolve_workspace",

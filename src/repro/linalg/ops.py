@@ -240,6 +240,57 @@ def selection_matrix(indices: np.ndarray, num_source_rows: int) -> sp.csr_matrix
     ).tocsr()
 
 
+def upper_tri_pairs_in_range(
+    s: sp.csr_matrix,
+    st: sp.csc_matrix,
+    start: int,
+    stop: int,
+    overlap: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matches ``(i, j)`` with ``start <= i < stop``, ``i < j``, dot == *overlap*.
+
+    The per-row-range slice of the paper's
+    ``upper.tri((S %*% t(S)) == (L-2))``: *s* is the canonical CSR slice
+    matrix, *st* its CSC transpose (built once by the caller so every range
+    shares it).  Ranges are pure — no shared mutable state — so the pair
+    join can map them over a thread pool; concatenating the results in
+    range order reproduces the full-scan row-major match order exactly.
+    ``overlap == 0`` is handled correctly (implicit zeros of the sparse
+    Gram matrix count as matches).
+    """
+    product = s[start:stop] @ st
+    if overlap == 0:
+        # Only the dense comparison sees the Gram matrix's implicit
+        # zeros, which DO count as matches when overlap == 0 (two
+        # fully disjoint slices have dot product 0 without a stored
+        # entry).  Positive overlaps never need this: every stored
+        # entry of the 0/1 Gram matrix is positive, so an implicit
+        # zero cannot equal overlap >= 1.
+        match = product.toarray() == overlap
+        local_rows, cols = np.nonzero(match)
+    else:
+        product = product.tocsr()
+        # Canonical CSR order makes the stored-entry scan emit matches
+        # in the same row-major, column-ascending order as np.nonzero
+        # on the dense comparison.
+        product.sort_indices()
+        mask = product.data == overlap
+        local_rows = np.repeat(
+            np.arange(product.shape[0], dtype=np.int64),
+            np.diff(product.indptr),
+        )[mask]
+        cols = product.indices[mask].astype(np.int64, copy=False)
+    # Keep strictly-upper-triangular entries: global row < column.
+    global_rows = local_rows + start
+    upper = cols > global_rows
+    if not upper.any():
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return (
+        global_rows[upper].astype(np.int64, copy=False),
+        cols[upper].astype(np.int64, copy=False),
+    )
+
+
 def iter_upper_tri_pair_chunks(slices: Matrix, overlap: float):
     """Yield ``(i, j)`` index-array chunks with ``i < j`` and dot product == *overlap*.
 
@@ -248,8 +299,9 @@ def iter_upper_tri_pair_chunks(slices: Matrix, overlap: float):
     ``nr x nr`` Gram matrix: rows are processed in chunks whose dense
     footprint stays below a fixed budget, and matches are yielded chunk by
     chunk so callers can stream them (the full match set can be huge on
-    feature-rich data).  ``overlap == 0`` is handled correctly (implicit
-    zeros of the sparse Gram matrix count as matches).
+    feature-rich data).  Each chunk is one :func:`upper_tri_pairs_in_range`
+    call; the parallel pair pipeline in :mod:`repro.core.pairs` maps those
+    ranges over a thread pool instead of iterating them here.
     """
     s = as_csr(slices)
     nr = s.shape[0]
@@ -257,36 +309,11 @@ def iter_upper_tri_pair_chunks(slices: Matrix, overlap: float):
         return
     st = s.T.tocsc()
     chunk = max(1, _PAIR_CHUNK_CELLS // max(nr, 1))
-    dense = overlap == 0
     for start in range(0, nr - 1, chunk):
         stop = min(start + chunk, nr - 1)
-        product = s[start:stop] @ st
-        if dense:
-            # Only the dense comparison sees the Gram matrix's implicit
-            # zeros, which DO count as matches when overlap == 0 (two
-            # fully disjoint slices have dot product 0 without a stored
-            # entry).  Positive overlaps never need this: every stored
-            # entry of the 0/1 Gram matrix is positive, so an implicit
-            # zero cannot equal overlap >= 1.
-            match = product.toarray() == overlap
-            local_rows, cols = np.nonzero(match)
-        else:
-            product = product.tocsr()
-            # Canonical CSR order makes the stored-entry scan emit matches
-            # in the same row-major, column-ascending order as np.nonzero
-            # on the dense comparison.
-            product.sort_indices()
-            mask = product.data == overlap
-            local_rows = np.repeat(
-                np.arange(product.shape[0], dtype=np.int64),
-                np.diff(product.indptr),
-            )[mask]
-            cols = product.indices[mask].astype(np.int64, copy=False)
-        # Keep strictly-upper-triangular entries: global row < column.
-        global_rows = local_rows + start
-        upper = cols > global_rows
-        if upper.any():
-            yield global_rows[upper], cols[upper]
+        rows, cols = upper_tri_pairs_in_range(s, st, start, stop, overlap)
+        if rows.size:
+            yield rows, cols
 
 
 def upper_tri_pairs(slices: Matrix, overlap: float) -> tuple[np.ndarray, np.ndarray]:

@@ -37,20 +37,44 @@ class KernelWorkspace:
     def __init__(self, num_threads: int = 1) -> None:
         self.num_threads = int(num_threads)
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_width = 0
         #: pools created over this workspace's lifetime (tests assert == 1)
         self.pools_created = 0
 
     # -- execution -----------------------------------------------------------
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        """Order-preserving map over *items*, pooled when it pays off."""
-        if self.num_threads > 1 and len(items) > 1:
-            return list(self._ensure_pool().map(fn, items))
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        width: int | None = None,
+    ) -> list[R]:
+        """Order-preserving map over *items*, pooled when it pays off.
+
+        *width* overrides the configured thread count for this call — the
+        pair-generation pipeline runs at ``pair_parallelism`` while the
+        evaluation kernels keep ``num_threads``.  The pool is sized to the
+        widest request seen so far (one pool serves both consumers; a map
+        narrower than the pool may still use all its workers, which is
+        safe because every mapped task is pure and results are merged in
+        item order).
+        """
+        effective = self.num_threads if width is None else int(width)
+        if effective > 1 and len(items) > 1:
+            return list(self._ensure_pool(effective).map(fn, items))
         return [fn(item) for item in items]
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
+    def _ensure_pool(self, width: int | None = None) -> ThreadPoolExecutor:
+        wanted = self.num_threads if width is None else int(width)
+        if self._pool is not None and wanted > self._pool_width:
+            # A wider request than the live pool: replace it.  Rare in
+            # practice (the first parallel map fixes the width), and safe —
+            # map() calls are strictly sequential per workspace.
+            self._pool.shutdown(wait=True)
+            self._pool = None
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.num_threads)
+            self._pool = ThreadPoolExecutor(max_workers=wanted)
+            self._pool_width = wanted
             self.pools_created += 1
         return self._pool
 

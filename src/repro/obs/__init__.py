@@ -11,7 +11,11 @@ Three pieces, all optional and zero-overhead when unused:
   flag and the ``BENCH_obs.json`` benchmark baseline).
 """
 
-from repro.obs.counters import CounterRegistry, LevelCounters
+from repro.obs.counters import (
+    EXECUTION_FIELDS,
+    CounterRegistry,
+    LevelCounters,
+)
 from repro.obs.export import (
     SCHEMA,
     counters_table,
@@ -29,6 +33,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "CounterRegistry",
+    "EXECUTION_FIELDS",
     "LevelCounters",
     "SCHEMA",
     "counters_table",

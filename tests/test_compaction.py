@@ -27,18 +27,13 @@ from repro.linalg import KernelWorkspace, pack_rows_mixed_radix, resolve_workspa
 from repro.streaming import MergeableSliceStats, expand_seed_slices
 from tests.conftest import random_small_problem
 
-#: counters whose values legitimately differ between the two modes (the
-#: compaction gauges stay 0 when compaction is off; elapsed time is noise;
-#: the kernel cost model sees smaller matrices under compaction and may
-#: pick a different — equally exact — backend)
-_MODE_DEPENDENT = {
-    "rows_alive",
-    "cols_alive",
-    "elapsed_seconds",
-    "backend_chosen",
-    "cache_hits",
-    "cache_misses",
-}
+from repro.obs.counters import EXECUTION_FIELDS
+
+#: counters whose values legitimately differ between the two modes: the
+#: compaction gauges stay 0 when compaction is off, and the timing /
+#: execution-shape fields (elapsed time, stage seconds, chunk grid,
+#: backend choice, cache pressure) vary with what the cost models see
+_MODE_DEPENDENT = {"rows_alive", "cols_alive"} | EXECUTION_FIELDS
 
 
 def assert_bitwise_identical_runs(x0, errors, config, num_threads=1, seeds=None):
@@ -350,8 +345,8 @@ class TestKernelWorkspace:
         created = []
         original = KernelWorkspace._ensure_pool
 
-        def counting(self):
-            pool = original(self)
+        def counting(self, width=None):
+            pool = original(self, width)
             created.append(self)
             return pool
 

@@ -50,16 +50,21 @@ def dyadic_problem(seed, n=None, m=None):
 
 
 def counters_records(result):
-    """Per-level counter dicts without the timing field."""
+    """Per-level counter dicts without timing/execution-shape fields.
+
+    A resumed run restarts with an empty indicator cache and may see a
+    different candidate geometry per level, so the kernel and pair-plan
+    cost models may legitimately make different (equally exact) choices
+    than the uninterrupted run did — everything in
+    :data:`repro.obs.counters.EXECUTION_FIELDS` is excluded.
+    """
+    from repro.obs.counters import EXECUTION_FIELDS
+
     records = []
     for record in result.counters.levels:
         as_dict = record.to_dict()
-        as_dict.pop("elapsed_seconds")
-        # A resumed run restarts with an empty indicator cache, so the
-        # kernel cost model may legitimately pick a different (equally
-        # exact) backend than the uninterrupted run did.
-        for gauge in ("backend_chosen", "cache_hits", "cache_misses"):
-            as_dict.pop(gauge)
+        for gauge in EXECUTION_FIELDS:
+            as_dict.pop(gauge, None)
         records.append(as_dict)
     return records
 
